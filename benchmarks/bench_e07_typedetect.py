@@ -1,0 +1,67 @@
+"""E7 — Sherlock (KDD'19) Table 2 / Sato (VLDB'20) Table 3 analogue.
+
+Rows reproduced: semantic type detection accuracy / macro-F1 per method:
+column-only features (Sherlock) vs. table-context-aware detection (Sato),
+on a corpus where several type pairs are rendered ambiguously and only
+table context disambiguates.  Expected shape: Sato > Sherlock overall, with
+the gap concentrated on the ambiguous types.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.metrics import classification_report
+from repro.datalake.generate import AMBIGUOUS_RENDER, make_typed_corpus
+from repro.understanding.sato import ColumnOnlyBaseline, SatoTypeDetector
+
+
+@pytest.fixture(scope="module")
+def split():
+    corpus = make_typed_corpus(
+        n_tables=90, cols_per_table=5, ambiguity=0.8, seed=42
+    )
+    tables = sorted(corpus.lake, key=lambda t: t.name)
+    cut = int(0.7 * len(tables))
+    labels = {(r.table, r.index): t for r, t in corpus.labels.items()}
+    return tables[:cut], tables[cut:], labels
+
+
+def _report(preds, labels, tables, only_types=None):
+    keys = [
+        (t.name, i)
+        for t in tables
+        for i in range(t.num_cols)
+        if (t.name, i) in labels
+        and (only_types is None or labels[(t.name, i)] in only_types)
+    ]
+    return classification_report(
+        [preds[k] for k in keys], [labels[k] for k in keys]
+    )
+
+
+def test_e07_context_vs_column_only(split, benchmark):
+    train, test, labels = split
+    sato = SatoTypeDetector(n_epochs=300).fit(train, labels)
+    sherlock = ColumnOnlyBaseline(n_epochs=300).fit(train, labels)
+
+    sato_preds = sato.predict(test)
+    sherlock_preds = sherlock.predict(test)
+    ambiguous = set(AMBIGUOUS_RENDER)
+
+    table = ExperimentTable(
+        "E7: semantic type detection (Sherlock vs Sato)",
+        ["method", "accuracy", "macro_f1", "acc_ambiguous_types"],
+    )
+    rows = {}
+    for name, preds in [("sherlock", sherlock_preds), ("sato", sato_preds)]:
+        rep = _report(preds, labels, test)
+        amb = _report(preds, labels, test, only_types=ambiguous)
+        table.add_row(name, rep["accuracy"], rep["macro_f1"], amb["accuracy"])
+        rows[name] = (rep["accuracy"], amb["accuracy"])
+    table.note("expected shape: sato > sherlock, gap largest on ambiguous types")
+    table.show()
+
+    assert rows["sato"][0] > rows["sherlock"][0]
+    assert rows["sato"][1] > rows["sherlock"][1]
+
+    benchmark.pedantic(lambda: sato.predict(test[:5]), rounds=3, iterations=1)

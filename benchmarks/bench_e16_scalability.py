@@ -1,0 +1,99 @@
+"""E16 — scalability cross-cut (tutorial §3: "indexing for data lakes").
+
+Rows reproduced: index build time and query time vs. lake size for the
+three index families the tutorial highlights — inverted lists (JOSIE),
+MinHash LSH (ensemble), and graph-based vector indices (HNSW) — against
+the no-index scan.  Expected shape: query time of indexed methods grows
+sublinearly with lake size; the scan grows linearly, so the index/scan gap
+widens (the §3 argument for lake-scale indexing).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.datalake.generate import make_join_corpus
+from repro.search.josie import JosieIndex
+from repro.sketch.hnsw import HNSW, brute_force_knn
+from repro.sketch.lshensemble import LSHEnsemble
+from repro.sketch.minhash import MinHash
+
+
+def _column_sets(corpus, cap=None):
+    out = []
+    for ref, col in corpus.lake.iter_text_columns():
+        values = set(col.value_set())
+        if len(values) >= 2:
+            out.append((ref, values))
+        if cap and len(out) >= cap:
+            break
+    return out
+
+
+def test_e16_scaling(benchmark):
+    table = ExperimentTable(
+        "E16: index scalability (query ms vs lake size)",
+        ["columns", "scan_ms", "josie_ms", "ensemble_ms", "hnsw_ms"],
+    )
+    sizes = (100, 300, 900)
+    scan_times, josie_times, ens_times, hnsw_times = [], [], [], []
+    rng = np.random.default_rng(3)
+    for n_cols in sizes:
+        corpus = make_join_corpus(
+            n_tables=max(40, n_cols // 3), n_queries=3, seed=7
+        )
+        cols = _column_sets(corpus, cap=n_cols)
+        qset = cols[0][1]
+
+        # Scan baseline: exact containment against every column.
+        t0 = time.perf_counter()
+        for _ in range(3):
+            _ = [
+                (ref, len(qset & s) / len(qset)) for ref, s in cols
+            ]
+        scan_ms = (time.perf_counter() - t0) * 1000 / 3
+        # JOSIE.
+        josie = JosieIndex()
+        for ref, s in cols:
+            josie.insert(ref, s)
+        t0 = time.perf_counter()
+        for _ in range(3):
+            josie.topk(qset, k=10)
+        josie_ms = (time.perf_counter() - t0) * 1000 / 3
+        # LSH Ensemble.
+        ens = LSHEnsemble(num_partitions=8)
+        entries = [(ref, MinHash.from_values(s), len(s)) for ref, s in cols]
+        ens.index(entries)
+        qmh = MinHash.from_values(qset)
+        t0 = time.perf_counter()
+        for _ in range(3):
+            ens.query(qmh, len(qset), 0.7)
+        ens_ms = (time.perf_counter() - t0) * 1000 / 3
+        # HNSW over random vectors standing in for column embeddings.
+        vectors = {i: rng.normal(size=32) for i in range(len(cols))}
+        hnsw = HNSW(dim=32, m=8, seed=1)
+        for key, v in vectors.items():
+            hnsw.add(key, v)
+        t0 = time.perf_counter()
+        for _ in range(3):
+            hnsw.search(vectors[0], k=10, ef=48)
+        hnsw_ms = (time.perf_counter() - t0) * 1000 / 3
+
+        table.add_row(len(cols), scan_ms, josie_ms, ens_ms, hnsw_ms)
+        scan_times.append(scan_ms)
+        josie_times.append(josie_ms)
+        ens_times.append(ens_ms)
+        hnsw_times.append(hnsw_ms)
+    table.note("expected shape: scan grows ~linearly; sketch/graph index "
+               "query times grow sublinearly")
+    table.show()
+
+    scan_growth = scan_times[-1] / max(scan_times[0], 1e-6)
+    ens_growth = ens_times[-1] / max(ens_times[0], 1e-6)
+    hnsw_growth = hnsw_times[-1] / max(hnsw_times[0], 1e-6)
+    assert ens_growth < scan_growth * 1.5
+    assert hnsw_growth < (sizes[-1] / sizes[0])
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,144 @@
+"""E20 — design-choice ablations called out in DESIGN.md §4.
+
+Three ablations that cut across experiments:
+
+* **A1 aggregation**: Hungarian vs. greedy column-to-table aggregation
+  (Starmie uses greedy for speed; how much quality does it give up?);
+* **A2 MinHash budget**: Jaccard estimation error vs. num_perm
+  (the accuracy/space knob under every LSH index);
+* **A3 schema matchers**: the Valentine matcher family on union-corpus
+  table pairs (schema-only vs. instance-based vs. composite).
+"""
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.search.aggregate import greedy_alignment, hungarian_alignment
+from repro.search.valentine import (
+    CompositeMatcher,
+    EmbeddingMatcher,
+    HeaderMatcher,
+    ValueOverlapMatcher,
+    evaluate_matcher,
+)
+from repro.sketch.minhash import MinHash, exact_jaccard
+
+
+def test_e20_a1_aggregation(benchmark):
+    rng = np.random.default_rng(42)
+    gaps, g_ms, h_ms = [], 0.0, 0.0
+    for _ in range(200):
+        scores = rng.uniform(0, 1, size=(6, 8))
+        t0 = time.perf_counter()
+        h_total, _ = hungarian_alignment(scores)
+        h_ms += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        g_total, _ = greedy_alignment(scores)
+        g_ms += time.perf_counter() - t0
+        gaps.append((h_total - g_total) / h_total if h_total else 0.0)
+    table = ExperimentTable(
+        "E20-A1: Hungarian vs greedy aggregation (200 random 6x8 matrices)",
+        ["matcher", "mean_quality_gap", "total_ms"],
+    )
+    table.add_row("hungarian", 0.0, h_ms * 1000)
+    table.add_row("greedy", float(np.mean(gaps)), g_ms * 1000)
+    table.note("expected shape: greedy loses only a few percent of the "
+               "optimal total — the Starmie trade-off")
+    table.show()
+    assert float(np.mean(gaps)) < 0.05
+
+    scores = rng.uniform(0, 1, size=(6, 8))
+    benchmark.pedantic(lambda: greedy_alignment(scores), rounds=20,
+                       iterations=1)
+
+
+def test_e20_a2_minhash_budget(benchmark):
+    rng = random.Random(42)
+    universe = [f"u{i}" for i in range(3000)]
+    pairs = []
+    for _ in range(30):
+        a = set(rng.sample(universe, rng.randint(100, 800)))
+        b = set(rng.sample(universe, rng.randint(100, 800)))
+        pairs.append((a, b))
+    table = ExperimentTable(
+        "E20-A2: MinHash Jaccard error vs num_perm",
+        ["num_perm", "mean_abs_error", "theory_stderr"],
+    )
+    errors = {}
+    for num_perm in (16, 64, 256, 1024):
+        errs = []
+        for a, b in pairs:
+            ma = MinHash.from_values(a, num_perm=num_perm)
+            mb = MinHash.from_values(b, num_perm=num_perm)
+            errs.append(abs(ma.jaccard(mb) - exact_jaccard(a, b)))
+        mean_err = float(np.mean(errs))
+        table.add_row(num_perm, mean_err, 1.0 / num_perm**0.5)
+        errors[num_perm] = mean_err
+    table.note("expected shape: error ~ 1/sqrt(num_perm)")
+    table.show()
+    assert errors[1024] < errors[16]
+    assert errors[1024] < 0.05
+
+    a, b = pairs[0]
+    benchmark.pedantic(
+        lambda: MinHash.from_values(a, num_perm=128), rounds=5, iterations=1
+    )
+
+
+def test_e20_a3_schema_matchers(union_corpus, union_space, benchmark):
+    # Ground truth: columns of intra-group table pairs match when they are
+    # annotated with the same ontology concept.
+    onto = union_corpus.ontology
+    eval_pairs = []
+    for g in range(4):
+        src = union_corpus.lake.table(union_corpus.groups[g][0])
+        tgt = union_corpus.lake.table(union_corpus.groups[g][1])
+        truth = set()
+        for i, a in src.text_columns():
+            ca = onto.annotate_column(a.non_null_values())
+            for j, b in tgt.text_columns():
+                if ca is not None and ca == onto.annotate_column(
+                    b.non_null_values()
+                ):
+                    truth.add((i, j))
+        eval_pairs.append((src, tgt, truth))
+
+    matchers = [
+        ("header", HeaderMatcher()),
+        ("value-overlap", ValueOverlapMatcher()),
+        ("embedding", EmbeddingMatcher(union_space)),
+        (
+            "composite",
+            CompositeMatcher(
+                [
+                    (HeaderMatcher(), 0.6),
+                    (ValueOverlapMatcher(), 1.0),
+                    (EmbeddingMatcher(union_space), 1.0),
+                ]
+            ),
+        ),
+    ]
+    table = ExperimentTable(
+        "E20-A3: Valentine matcher family (recall@ground-truth)",
+        ["matcher", "precision", "recall_at_gt"],
+    )
+    recalls = {}
+    for name, matcher in matchers:
+        report = evaluate_matcher(matcher, eval_pairs)
+        table.add_row(name, report["precision"], report["recall_at_gt"])
+        recalls[name] = report["recall_at_gt"]
+    table.note("expected shape: instance-based >= schema-only on noisy "
+               "headers; composite >= all")
+    table.show()
+
+    assert recalls["embedding"] >= recalls["header"]
+    assert recalls["composite"] >= max(recalls.values()) - 0.05
+
+    src, tgt, _ = eval_pairs[0]
+    benchmark.pedantic(
+        lambda: matchers[3][1].match(src, tgt), rounds=3, iterations=1
+    )

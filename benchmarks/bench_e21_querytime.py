@@ -1,0 +1,90 @@
+"""E21 — query-time vs. batch-offline annotation (tutorial §3 challenge).
+
+The tutorial asks: can semantic annotation move from a batch offline task
+to query time?  This experiment quantifies the trade-off the challenge
+implies: for a workload touching only a fraction of the lake, lazy
+annotation does proportionally less work; for a workload that sweeps the
+lake repeatedly, the LRU cache amortizes to batch cost.  Also measures
+Das Sarma related-table search as the consumer driving the workload.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.datalake.generate import make_relationship_corpus
+from repro.search.related import RelatedTableSearch
+from repro.understanding.querytime import QueryTimeAnnotator, batch_annotate
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_relationship_corpus(
+        n_queries=4, positives_per_query=6, confounders_per_query=6, seed=42
+    )
+
+
+def test_e21_lazy_vs_batch(corpus, benchmark):
+    names = corpus.lake.table_names()
+    table = ExperimentTable(
+        "E21: query-time vs batch annotation",
+        ["workload", "tables_annotated", "ms", "hit_rate"],
+    )
+
+    t0 = time.perf_counter()
+    batch = batch_annotate(corpus.lake, corpus.ontology)
+    batch_ms = (time.perf_counter() - t0) * 1000
+    table.add_row("batch (whole lake)", len(batch), batch_ms, 0.0)
+
+    rows = {}
+    for frac in (0.1, 0.5):
+        lazy = QueryTimeAnnotator(corpus.lake, corpus.ontology)
+        touched = names[: max(1, int(frac * len(names)))]
+        t0 = time.perf_counter()
+        for _ in range(3):  # repeated queries hit the cache
+            lazy.annotate_many(touched)
+        lazy_ms = (time.perf_counter() - t0) * 1000
+        table.add_row(
+            f"lazy, {int(frac * 100)}% of lake x3",
+            lazy.stats.annotated,
+            lazy_ms,
+            lazy.stats.hit_rate,
+        )
+        rows[frac] = (lazy.stats.annotated, lazy_ms, lazy.stats.hit_rate)
+    table.note("expected shape: lazy work proportional to touched fraction; "
+               "repeat queries ~free (hit rate 2/3)")
+    table.show()
+
+    assert rows[0.1][0] == max(1, int(0.1 * len(names)))
+    assert rows[0.1][1] < batch_ms
+    assert rows[0.1][2] == pytest.approx(2 / 3, abs=0.01)
+
+    lazy = QueryTimeAnnotator(corpus.lake, corpus.ontology)
+    benchmark.pedantic(
+        lambda: lazy.annotate(names[0]), rounds=10, iterations=1
+    )
+
+
+def test_e21_related_tables_quality(corpus, benchmark):
+    """Das Sarma related tables on the relationship corpus: entity
+    complements should surface the same-relation tables."""
+    search = RelatedTableSearch(corpus.lake).build()
+    table = ExperimentTable(
+        "E21b: Das Sarma related tables (entity complement)",
+        ["query", "hits_in_same_relation_group", "k"],
+    )
+    total = 0
+    for q in sorted(corpus.truth):
+        res = search.related(q, k=6, kind="entity-complement")
+        relevant = corpus.truth[q] | corpus.confounders[q]
+        hits = sum(1 for r in res if r.table in relevant)
+        table.add_row(q, hits, 6)
+        total += hits
+    table.note("entity complement finds same-domain tables (relationship "
+               "disambiguation needs SANTOS, see E5)")
+    table.show()
+    assert total >= 12  # same-domain retrieval works across the 4 queries
+
+    q = sorted(corpus.truth)[0]
+    benchmark.pedantic(lambda: search.related(q, k=6), rounds=5, iterations=1)

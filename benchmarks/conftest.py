@@ -1,0 +1,33 @@
+"""Shared corpora for the benchmark suite.
+
+Each bench module regenerates one exhibit from the surveyed papers (see
+DESIGN.md §3 and EXPERIMENTS.md).  Corpora are session-scoped: generation
+and offline index builds are excluded from the timed sections.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalake.generate import (
+    make_join_corpus,
+    make_union_corpus,
+)
+from repro.understanding.embedding import train_embeddings
+
+
+@pytest.fixture(scope="session")
+def join_corpus():
+    return make_join_corpus(n_tables=120, n_queries=6, base_size=1200, seed=42)
+
+
+@pytest.fixture(scope="session")
+def union_corpus():
+    return make_union_corpus(
+        n_groups=8, tables_per_group=6, rows_per_table=50, seed=42
+    )
+
+
+@pytest.fixture(scope="session")
+def union_space(union_corpus):
+    return train_embeddings(union_corpus.lake, dim=48, seed=42)

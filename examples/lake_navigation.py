@@ -1,0 +1,74 @@
+"""Scenario: explore an unfamiliar data lake without writing a query.
+
+The survey's §2.6 workload: instead of query-driven discovery, the user
+*navigates*.  The example builds (1) a lake-wide organization (a topic
+hierarchy over tables), (2) a RONIN-style online organization over one
+search's results, (3) an Aurum-style knowledge graph for hop-by-hop column
+exploration, and (4) a DomainNet homograph report warning which values are
+ambiguous across domains.
+
+Run:  python examples/lake_navigation.py
+"""
+
+from repro.core.config import DiscoveryConfig
+from repro.core.system import DiscoverySystem
+from repro.datalake.generate import make_homograph_corpus, make_union_corpus
+from repro.datalake.table import ColumnRef
+from repro.graph.homograph import HomographDetector
+
+
+def show_tree(node, names_per_leaf=3, indent=0) -> None:
+    label = f"node {node.node_id} ({len(node.tables)} tables)"
+    if node.is_leaf:
+        label += ": " + ", ".join(node.tables[:names_per_leaf])
+        if len(node.tables) > names_per_leaf:
+            label += ", ..."
+    print("  " * indent + label)
+    for child in node.children:
+        show_tree(child, names_per_leaf, indent + 1)
+
+
+def main() -> None:
+    corpus = make_union_corpus(
+        n_groups=6, tables_per_group=4, rows_per_table=40, seed=11
+    )
+    system = DiscoverySystem(
+        corpus.lake, DiscoveryConfig(embedding_dim=32, org_branching=3)
+    ).build()
+
+    # 1. Lake-wide organization.
+    org = system.organization()
+    print("lake organization (topic hierarchy):")
+    show_tree(org.root)
+
+    # 2. Navigate by intent.
+    intent = "concept_000 concept_001"
+    print(f"\nnavigating toward intent {intent!r}:")
+    print(f"  reached: {system.navigate(intent)}")
+
+    # 3. RONIN: organize one query's result set online.
+    results = [
+        r.table for r in system.unionable_search(corpus.groups[0][0], k=8)
+    ]
+    print(f"\nsearch returned {len(results)} tables; organizing them online:")
+    show_tree(system.explore_results(results).root)
+
+    # 4. Aurum EKG: hop from a column to its neighbourhood.
+    ref = ColumnRef(corpus.groups[0][0], 0)
+    print(f"\ncolumns related to {ref} in the knowledge graph:")
+    for other, weight in system.related_columns(ref, k=5):
+        print(f"  {other}  weight={weight:.2f}")
+
+    # 5. Homograph warning report.
+    homo_corpus = make_homograph_corpus(
+        n_tables=30, n_homographs=6, rows_per_table=25, seed=11
+    )
+    detector = HomographDetector(approx_samples=80)
+    print("\npossible homographs in a second lake (ambiguous values):")
+    for h in detector.top_homographs(homo_corpus.lake, k=6):
+        planted = "planted" if h.value in homo_corpus.homographs else ""
+        print(f"  {h.value:<12} centrality={h.score:.4f} {planted}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Quickstart: build a lake from CSV files and discover tables in it.
+
+Creates a handful of CSV files in a temp directory (standing in for your
+open-data dump), ingests them as a DataLake, runs the Figure-1 offline
+pipeline, and issues one query of each kind.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import DataLake, DiscoveryConfig, DiscoverySystem, write_table_csv
+from repro.datalake.table import ColumnRef, Table, TableMetadata
+
+
+def make_demo_csvs(directory: Path) -> None:
+    """Write a tiny 'open data portal' of related CSVs."""
+    cities = Table.from_dict(
+        "city_population",
+        {
+            "city": ["oslo", "rome", "lima", "cairo", "quito", "hanoi"],
+            "population": ["709000", "2873000", "9752000", "9540000",
+                           "1763000", "8054000"],
+        },
+        TableMetadata(title="world city population", tags=["geo", "census"]),
+    )
+    air = Table.from_dict(
+        "air_quality",
+        {
+            "city": ["oslo", "rome", "lima", "cairo", "bogota", "hanoi"],
+            "pm25": ["7.2", "16.1", "23.5", "67.9", "15.3", "39.8"],
+        },
+        TableMetadata(title="urban air quality measurements", tags=["environment"]),
+    )
+    more_cities = Table.from_dict(
+        "asian_cities",
+        {
+            "metro": ["hanoi", "manila", "jakarta", "bangkok"],
+            "country": ["vietnam", "philippines", "indonesia", "thailand"],
+        },
+        TableMetadata(title="asian metro areas", tags=["geo"]),
+    )
+    salaries = Table.from_dict(
+        "salaries",
+        {
+            "role": ["engineer", "analyst", "manager", "designer"],
+            "salary": ["120000", "90000", "140000", "95000"],
+        },
+        TableMetadata(title="staff salaries", tags=["hr"]),
+    )
+    for t in (cities, air, more_cities, salaries):
+        write_table_csv(t, directory / f"{t.name}.csv")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        make_demo_csvs(directory)
+
+        # 1. Ingest every CSV under the directory.
+        lake = DataLake.from_directory(directory)
+        print(f"ingested lake: {lake.stats()}")
+
+        # 2. Offline pipeline: understand + embed + index (Figure 1).
+        system = DiscoverySystem(
+            lake, DiscoveryConfig(embedding_dim=16, embedding_min_count=1)
+        ).build()
+
+        # 3. Keyword search over metadata.
+        print("\nkeyword search 'air quality':")
+        for hit in system.keyword_search("air quality", k=3):
+            print(f"  {hit.table:<20} score={hit.score:.2f}")
+
+        # 4. Joinable table search: what joins with city_population.city?
+        print("\njoinable with city_population.city (exact top-k):")
+        for res in system.joinable_search(
+            ColumnRef("city_population", 0), k=3
+        ):
+            print(f"  {res.ref}  overlap_fraction={res.score:.2f}")
+
+        # 5. Unionable table search: what extends city_population with rows?
+        print("\nunionable with city_population (embedding-based):")
+        for res in system.unionable_search("city_population", k=3):
+            print(f"  {res.table:<20} score={res.score:.2f}")
+
+        # 6. Navigation: explore the lake by topic intent.
+        print("\nnavigate toward 'city population census':")
+        print(f"  reached tables: {system.navigate('city population census')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""tablediscovery: a full-stack reproduction of "Table Discovery in Data
+Lakes: State-of-the-art and Future Directions" (SIGMOD-Companion 2023).
+
+The package implements the tutorial's Figure-1 architecture end to end:
+
+* ``repro.datalake``      — lake substrate (tables, typing, CSV, ontology,
+  synthetic benchmark corpora with ground truth);
+* ``repro.sketch``        — indexing substrate (MinHash, LSH, LSH Ensemble,
+  inverted index, HNSW, KMV, QCR correlation sketch, SimHash);
+* ``repro.understanding`` — table understanding (annotation, semantic type
+  detection, domain discovery, embeddings, contextual column encoders);
+* ``repro.search``        — the table search engine (keyword, JOSIE, PEXESO,
+  MATE, correlated search, TUS / SANTOS / Starmie union search);
+* ``repro.graph``         — navigation support (Aurum EKG, organizations,
+  RONIN, homograph detection);
+* ``repro.apps``          — data science support (ARDA augmentation,
+  stitching/KB completion, training set discovery);
+* ``repro.core``          — the ``DiscoverySystem`` facade tying it together;
+* ``repro.bench``         — metrics, workloads, and the experiment harness.
+
+Quickstart::
+
+    from repro import DataLake, DiscoverySystem, Table
+
+    lake = DataLake([Table.from_dict("t", {"city": ["oslo", "rome"]})])
+    system = DiscoverySystem(lake).build()
+    system.keyword_search("city")
+"""
+
+from repro.core.config import DiscoveryConfig
+from repro.core.system import DiscoverySystem
+from repro.datalake.csvio import read_table_csv, write_table_csv
+from repro.datalake.lake import DataLake
+from repro.datalake.ontology import Ontology
+from repro.datalake.table import Column, ColumnRef, Table, TableMetadata
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Column",
+    "ColumnRef",
+    "DataLake",
+    "DiscoveryConfig",
+    "DiscoverySystem",
+    "Ontology",
+    "Table",
+    "TableMetadata",
+    "read_table_csv",
+    "write_table_csv",
+    "__version__",
+]

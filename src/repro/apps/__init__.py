@@ -1,0 +1,27 @@
+"""Data science / application support (survey §2.7)."""
+
+from repro.apps.arda import ArdaAugmenter, AugmentationReport
+from repro.apps.leva import LakeGraphEmbedding
+from repro.apps.ml import LogisticRegression, RidgeRegression, train_test_split
+from repro.apps.stitching import (
+    StitchedRelation,
+    TableStitcher,
+    extract_facts,
+    kb_completion_rate,
+)
+from repro.apps.trainset import TrainingSetBuilder, TrainsetReport
+
+__all__ = [
+    "ArdaAugmenter",
+    "AugmentationReport",
+    "LakeGraphEmbedding",
+    "LogisticRegression",
+    "RidgeRegression",
+    "StitchedRelation",
+    "TableStitcher",
+    "TrainingSetBuilder",
+    "TrainsetReport",
+    "extract_facts",
+    "kb_completion_rate",
+    "train_test_split",
+]

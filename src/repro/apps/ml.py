@@ -1,0 +1,90 @@
+"""Minimal numpy learners used by the data-science application modules.
+
+ARDA and training-set discovery need a downstream model to measure
+augmentation benefit; these are deliberately small, deterministic
+implementations (ridge regression, logistic regression, k-NN).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RidgeRegression:
+    """Closed-form ridge regression with intercept."""
+
+    def __init__(self, alpha: float = 1.0):
+        self.alpha = alpha
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        mu_x = x.mean(axis=0)
+        mu_y = y.mean()
+        xc = x - mu_x
+        yc = y - mu_y
+        d = x.shape[1]
+        a = xc.T @ xc + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(a, xc.T @ yc)
+        self.intercept_ = float(mu_y - mu_x @ self.coef_)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        return np.asarray(x, dtype=float) @ self.coef_ + self.intercept_
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """R^2 on the given data."""
+        y = np.asarray(y, dtype=float)
+        pred = self.predict(x)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+
+
+class LogisticRegression:
+    """Binary logistic regression, full-batch gradient descent."""
+
+    def __init__(self, n_epochs: int = 300, lr: float = 0.3, l2: float = 1e-3):
+        self.n_epochs = n_epochs
+        self.lr = lr
+        self.l2 = l2
+        self.coef_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.hstack([np.asarray(x, dtype=float), np.ones((len(x), 1))])
+        y = np.asarray(y, dtype=float)
+        w = np.zeros(x.shape[1])
+        n = len(x)
+        for _ in range(self.n_epochs):
+            p = 1.0 / (1.0 + np.exp(-(x @ w)))
+            grad = x.T @ (p - y) / n + self.l2 * w
+            w -= self.lr * grad
+        self.coef_ = w
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        x = np.hstack([np.asarray(x, dtype=float), np.ones((len(x), 1))])
+        return 1.0 / (1.0 + np.exp(-(x @ self.coef_)))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(int)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+
+def train_test_split(
+    x: np.ndarray, y: np.ndarray, test_fraction: float = 0.3, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic shuffled split."""
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(len(x))
+    cut = int(len(x) * (1 - test_fraction))
+    tr, te = idx[:cut], idx[cut:]
+    return x[tr], x[te], y[tr], y[te]

@@ -1,0 +1,148 @@
+"""Table stitching and KB completion (Ling et al. IJCAI'13; Lehmberg & Bizer
+VLDB'17, survey §2.7).
+
+Web tables arrive as many small fragments of one logical relation with
+*semantically equivalent but differently named* headers.  Stitching groups
+fragments by schema fingerprint (SimHash over header tokens + value-type
+signature), maps each header group to a canonical predicate, unions the
+fragments, and extracts (subject, predicate, object) facts — boosting KB
+completion because small fragments alone lack the support to trust a fact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Column, Table
+from repro.sketch.simhash import simhash, simhash_similarity
+
+
+@dataclass
+class StitchedRelation:
+    """A stitched union table plus its header mapping."""
+
+    tables: list[str]
+    #: canonical predicate -> the raw headers mapped onto it
+    header_map: dict[str, list[str]] = field(default_factory=dict)
+    union: Table | None = None
+
+
+class TableStitcher:
+    """Stitch fragments that share a logical schema."""
+
+    def __init__(
+        self,
+        schema_similarity: float = 0.8,
+        subject_column: int = 0,
+        min_group: int = 2,
+    ):
+        self.schema_similarity = schema_similarity
+        self.subject_column = subject_column
+        self.min_group = min_group
+
+    def _schema_fingerprint(self, table: Table) -> int:
+        """SimHash over per-column value-shape tokens (headers are noisy, so
+        the fingerprint relies on column *content* shape)."""
+        tokens = []
+        for col in table.columns:
+            tokens.append(f"dtype:{col.dtype.name}")
+            for v in sorted(col.value_set())[:10]:
+                prefix = "".join("9" if c.isdigit() else "a" for c in v[:6])
+                tokens.append(f"shape:{prefix}")
+        return simhash(tokens)
+
+    def group_fragments(self, lake: DataLake) -> list[list[str]]:
+        """Cluster tables whose schema fingerprints are near-identical and
+        whose column counts match."""
+        items = [
+            (t.name, t.num_cols, self._schema_fingerprint(t)) for t in lake
+        ]
+        groups: list[list[tuple[str, int, int]]] = []
+        for item in items:
+            placed = False
+            for g in groups:
+                rep = g[0]
+                if item[1] == rep[1] and (
+                    simhash_similarity(item[2], rep[2]) >= self.schema_similarity
+                ):
+                    g.append(item)
+                    placed = True
+                    break
+            if not placed:
+                groups.append([item])
+        return [
+            [name for name, _, _ in g] for g in groups if len(g) >= self.min_group
+        ]
+
+    def stitch_group(self, lake: DataLake, names: list[str]) -> StitchedRelation:
+        """Union a group: align columns by position, canonicalize headers by
+        majority token vote within each position."""
+        tables = [lake.table(n) for n in names]
+        n_cols = tables[0].num_cols
+        header_votes: list[Counter[str]] = [Counter() for _ in range(n_cols)]
+        raw_headers: list[set[str]] = [set() for _ in range(n_cols)]
+        for t in tables:
+            for j, h in enumerate(t.header[:n_cols]):
+                raw_headers[j].add(h)
+                header_votes[j][h] += 1
+        canonical = []
+        for j in range(n_cols):
+            if header_votes[j]:
+                # Majority vote over full raw headers; ties break
+                # lexicographically for determinism.
+                best = max(
+                    header_votes[j].items(), key=lambda kv: (kv[1], kv[0])
+                )
+                canonical.append(best[0])
+            else:
+                canonical.append(f"col_{j}")
+        columns = []
+        for j in range(n_cols):
+            values: list[str] = []
+            for t in tables:
+                values.extend(t.columns[j].values)
+            columns.append(Column(canonical[j], values))
+        union = Table("+".join(sorted(names))[:80], columns)
+        header_map = {
+            canonical[j]: sorted(raw_headers[j]) for j in range(n_cols)
+        }
+        return StitchedRelation(list(names), header_map, union)
+
+    def stitch_lake(self, lake: DataLake) -> list[StitchedRelation]:
+        return [
+            self.stitch_group(lake, names) for names in self.group_fragments(lake)
+        ]
+
+
+def extract_facts(
+    relation: StitchedRelation, subject_column: int = 0
+) -> set[tuple[str, str, str]]:
+    """(subject, predicate, object) triples from a stitched union table."""
+    union = relation.union
+    if union is None:
+        return set()
+    facts = set()
+    subj = union.columns[subject_column]
+    for j, col in enumerate(union.columns):
+        if j == subject_column:
+            continue
+        for s, o in zip(subj.values, col.values):
+            if s.strip() and o.strip():
+                facts.add((s, col.name, o))
+    return facts
+
+
+def kb_completion_rate(
+    extracted: set[tuple[str, str, str]],
+    truth: set[tuple[str, str, str]],
+    predicate_aliases: dict[str, str] | None = None,
+) -> float:
+    """Fraction of true facts recovered (predicates canonicalized first)."""
+    if not truth:
+        return 0.0
+    aliases = predicate_aliases or {}
+    canon = {(s, aliases.get(p, p), o) for s, p, o in extracted}
+    truth_canon = {(s, aliases.get(p, p), o) for s, p, o in truth}
+    return len(canon & truth_canon) / len(truth_canon)

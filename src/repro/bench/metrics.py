@@ -1,0 +1,116 @@
+"""Retrieval and estimation metrics used across the benchmark suite."""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Sequence
+
+
+def precision_at_k(retrieved: Sequence[Hashable], relevant: set, k: int) -> float:
+    """Fraction of the top-k retrieved items that are relevant."""
+    if k <= 0:
+        return 0.0
+    top = list(retrieved)[:k]
+    if not top:
+        return 0.0
+    return sum(1 for r in top if r in relevant) / min(k, len(top))
+
+
+def recall_at_k(retrieved: Sequence[Hashable], relevant: set, k: int) -> float:
+    """Fraction of relevant items found in the top-k."""
+    if not relevant:
+        return 1.0
+    top = set(list(retrieved)[:k])
+    return len(top & relevant) / len(relevant)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def average_precision(retrieved: Sequence[Hashable], relevant: set) -> float:
+    """AP of a ranked list against a relevance set."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for i, item in enumerate(retrieved, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / i
+    return total / min(len(relevant), len(retrieved)) if retrieved else 0.0
+
+
+def mean_average_precision(
+    runs: list[tuple[Sequence[Hashable], set]]
+) -> float:
+    """MAP over (retrieved, relevant) pairs."""
+    if not runs:
+        return 0.0
+    return sum(average_precision(r, rel) for r, rel in runs) / len(runs)
+
+
+def ndcg_at_k(
+    retrieved: Sequence[Hashable], gains: dict[Hashable, float], k: int
+) -> float:
+    """Normalized discounted cumulative gain with graded relevance."""
+    top = list(retrieved)[:k]
+    dcg = sum(
+        gains.get(item, 0.0) / math.log2(i + 2) for i, item in enumerate(top)
+    )
+    ideal = sorted(gains.values(), reverse=True)[:k]
+    idcg = sum(g / math.log2(i + 2) for i, g in enumerate(ideal))
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def kendall_tau(a: Sequence[float], b: Sequence[float]) -> float:
+    """Kendall rank correlation between two equally-long score sequences."""
+    n = len(a)
+    if n != len(b) or n < 2:
+        return 0.0
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            s = (a[i] - a[j]) * (b[i] - b[j])
+            if s > 0:
+                concordant += 1
+            elif s < 0:
+                discordant += 1
+    total = n * (n - 1) / 2
+    return (concordant - discordant) / total if total else 0.0
+
+
+def mean_absolute_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    if not estimates:
+        return 0.0
+    return sum(abs(e - t) for e, t in zip(estimates, truths)) / len(estimates)
+
+
+def classification_report(
+    predictions: Sequence[str], labels: Sequence[str]
+) -> dict[str, float]:
+    """Accuracy plus macro precision/recall/F1 over string labels."""
+    classes = sorted(set(labels) | set(predictions))
+    accuracy = (
+        sum(1 for p, l in zip(predictions, labels) if p == l) / len(labels)
+        if labels
+        else 0.0
+    )
+    precisions, recalls, f1s = [], [], []
+    for c in classes:
+        tp = sum(1 for p, l in zip(predictions, labels) if p == c and l == c)
+        fp = sum(1 for p, l in zip(predictions, labels) if p == c and l != c)
+        fn = sum(1 for p, l in zip(predictions, labels) if p != c and l == c)
+        prec = tp / (tp + fp) if tp + fp else 0.0
+        rec = tp / (tp + fn) if tp + fn else 0.0
+        precisions.append(prec)
+        recalls.append(rec)
+        f1s.append(f1_score(prec, rec))
+    return {
+        "accuracy": accuracy,
+        "macro_precision": sum(precisions) / len(classes) if classes else 0.0,
+        "macro_recall": sum(recalls) / len(classes) if classes else 0.0,
+        "macro_f1": sum(f1s) / len(classes) if classes else 0.0,
+    }

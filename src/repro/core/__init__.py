@@ -1,0 +1,26 @@
+"""Core: the Figure-1 end-to-end discovery system."""
+
+from repro.core.config import DiscoveryConfig, PipelineStats
+from repro.core.errors import (
+    ConfigError,
+    CsvFormatError,
+    DiscoveryError,
+    LakeError,
+    SchemaError,
+)
+from repro.core.pipeline import STAGES, pipeline_report, run_pipeline
+from repro.core.system import DiscoverySystem
+
+__all__ = [
+    "STAGES",
+    "ConfigError",
+    "CsvFormatError",
+    "DiscoveryConfig",
+    "DiscoveryError",
+    "DiscoverySystem",
+    "LakeError",
+    "PipelineStats",
+    "SchemaError",
+    "pipeline_report",
+    "run_pipeline",
+]

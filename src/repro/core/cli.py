@@ -1,0 +1,128 @@
+"""Command-line interface: table discovery over a directory of CSV files.
+
+Usage::
+
+    python -m repro stats     <lake_dir>
+    python -m repro keyword   <lake_dir> --query "air quality" [-k 5]
+    python -m repro join      <lake_dir> --table cities --column 0 [-k 5]
+    python -m repro union     <lake_dir> --table cities [-k 5] [--method starmie]
+    python -m repro navigate  <lake_dir> --intent "city population"
+    python -m repro domains   <lake_dir>
+
+Every command ingests ``lake_dir`` (recursively, all ``*.csv``), runs the
+offline pipeline stages it needs, and prints results to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import DiscoveryConfig
+from repro.core.system import DiscoverySystem
+from repro.datalake.lake import DataLake
+from repro.datalake.table import ColumnRef
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="table discovery over a directory of CSVs"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def lake_arg(p):
+        p.add_argument("lake_dir", help="directory of CSV files")
+        p.add_argument("-k", type=int, default=5, help="results to return")
+
+    p = sub.add_parser("stats", help="lake statistics")
+    p.add_argument("lake_dir")
+
+    p = sub.add_parser("keyword", help="metadata keyword search")
+    lake_arg(p)
+    p.add_argument("--query", required=True)
+
+    p = sub.add_parser("join", help="joinable column search")
+    lake_arg(p)
+    p.add_argument("--table", required=True)
+    p.add_argument("--column", type=int, default=0)
+    p.add_argument(
+        "--method", choices=["exact", "containment"], default="exact"
+    )
+
+    p = sub.add_parser("union", help="unionable table search")
+    lake_arg(p)
+    p.add_argument("--table", required=True)
+    p.add_argument(
+        "--method", choices=["tus", "starmie"], default="starmie"
+    )
+
+    p = sub.add_parser("navigate", help="navigate the lake by intent")
+    lake_arg(p)
+    p.add_argument("--intent", required=True)
+
+    p = sub.add_parser("domains", help="discover value domains")
+    lake_arg(p)
+    return parser
+
+
+def _system(lake_dir: str, need_embeddings: bool, domains: bool = False):
+    lake = DataLake.from_directory(lake_dir)
+    config = DiscoveryConfig(
+        enable_embeddings=need_embeddings,
+        enable_domains=domains,
+        embedding_min_count=1,
+    )
+    return DiscoverySystem(lake, config).build()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    if args.command == "stats":
+        lake = DataLake.from_directory(args.lake_dir)
+        for key, value in lake.stats().items():
+            print(f"{key:>8}: {value}", file=out)
+        return 0
+
+    if args.command == "keyword":
+        system = _system(args.lake_dir, need_embeddings=False)
+        for hit in system.keyword_search(args.query, k=args.k):
+            print(f"{hit.table}\t{hit.score:.3f}", file=out)
+        return 0
+
+    if args.command == "join":
+        system = _system(args.lake_dir, need_embeddings=False)
+        ref = ColumnRef(args.table, args.column)
+        for res in system.joinable_search(ref, k=args.k, method=args.method):
+            print(f"{res.ref}\t{res.score:.3f}", file=out)
+        return 0
+
+    if args.command == "union":
+        system = _system(
+            args.lake_dir, need_embeddings=args.method == "starmie"
+        )
+        for res in system.unionable_search(
+            args.table, k=args.k, method=args.method
+        ):
+            print(f"{res.table}\t{res.score:.3f}", file=out)
+        return 0
+
+    if args.command == "navigate":
+        system = _system(args.lake_dir, need_embeddings=True)
+        for name in system.navigate(args.intent):
+            print(name, file=out)
+        return 0
+
+    if args.command == "domains":
+        system = _system(args.lake_dir, need_embeddings=False, domains=True)
+        for i, domain in enumerate(system.domains[: args.k]):
+            sample = ", ".join(sorted(domain.values)[:5])
+            print(
+                f"domain {i}: {len(domain)} values "
+                f"({len(domain.columns)} columns) e.g. {sample}",
+                file=out,
+            )
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces valid commands

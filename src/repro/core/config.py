@@ -1,0 +1,65 @@
+"""Configuration for the end-to-end discovery system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigError
+
+
+@dataclass
+class DiscoveryConfig:
+    """Knobs for the offline pipeline and online engines of Figure 1."""
+
+    # sketches / indices
+    num_perm: int = 128
+    num_partitions: int = 8
+    hnsw_m: int = 8
+    ef_search: int = 48
+    qcr_sketch_size: int = 256
+
+    # embeddings
+    embedding_dim: int = 48
+    embedding_min_count: int = 2
+    context_weight: float = 0.3
+
+    # search behaviour
+    containment_threshold: float = 0.5
+    union_measure: str = "ensemble"
+    union_index: str = "hnsw"
+
+    # navigation
+    org_branching: int = 4
+    org_max_leaf: int = 4
+
+    # pipeline stages (all on by default; understanding stages can be
+    # disabled for speed on large lakes)
+    enable_embeddings: bool = True
+    enable_domains: bool = False
+    enable_annotation: bool = True
+
+    seed: int = 0
+
+    def validate(self) -> "DiscoveryConfig":
+        if self.num_perm < 8:
+            raise ConfigError("num_perm must be >= 8")
+        if not 0 < self.containment_threshold <= 1:
+            raise ConfigError("containment_threshold must be in (0, 1]")
+        if self.union_measure not in ("set", "sem", "nl", "ensemble"):
+            raise ConfigError(f"unknown union_measure {self.union_measure!r}")
+        if self.union_index not in ("linear", "lsh", "hnsw"):
+            raise ConfigError(f"unknown union_index {self.union_index!r}")
+        if not 0 <= self.context_weight < 1:
+            raise ConfigError("context_weight must be in [0, 1)")
+        return self
+
+
+@dataclass
+class PipelineStats:
+    """Timings and counters reported by the offline pipeline."""
+
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    tables: int = 0
+    columns: int = 0
+    vocabulary: int = 0
+    domains_found: int = 0

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the table discovery library."""
+
+
+class DiscoveryError(Exception):
+    """Base class for all library errors."""
+
+
+class SchemaError(DiscoveryError):
+    """A table or query violates structural expectations (ragged rows, ...)."""
+
+
+class LakeError(DiscoveryError):
+    """Data lake catalog errors (duplicate table names, missing tables)."""
+
+
+class IndexError_(DiscoveryError):
+    """An index is queried before being built or with incompatible input."""
+
+
+class ConfigError(DiscoveryError):
+    """Invalid configuration values."""
+
+
+class CsvFormatError(DiscoveryError):
+    """Malformed CSV input."""

@@ -1,0 +1,337 @@
+"""The Figure-1 system: an end-to-end table discovery facade.
+
+``DiscoverySystem`` is this repository's realization of the tutorial's
+architecture diagram: a Data Lake Management System feeding Table
+Understanding components (annotation, domain discovery, embeddings,
+indexing), which in turn power the Table Search Engine (keyword, joinable,
+unionable), Navigation Support, and Data Science / Application Support.
+
+Offline: ``build()`` runs the understanding + indexing pipeline.
+Online: ``keyword_search``, ``joinable_search``, ``unionable_search``,
+``correlated_search``, ``fuzzy_joinable_search``, ``multi_attribute_search``,
+``navigate`` / ``organization``, ``related_columns``, ``augment_for_ml``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.apps.arda import ArdaAugmenter, AugmentationReport
+from repro.core.config import DiscoveryConfig, PipelineStats
+from repro.core.errors import LakeError
+from repro.datalake.lake import DataLake
+from repro.datalake.ontology import Ontology
+from repro.datalake.table import Column, ColumnRef, Table
+from repro.graph.aurum import EnterpriseKnowledgeGraph
+from repro.graph.organize import Organization
+from repro.graph.ronin import RoninExplorer
+from repro.search.correlated import CorrelatedHit, CorrelatedSearch
+from repro.search.joinable import JoinableSearch, JoinSearchConfig
+from repro.search.keyword import KeywordHit, KeywordSearchEngine
+from repro.search.mate import MateHit, MateIndex
+from repro.search.pexeso import PexesoIndex
+from repro.search.results import ColumnResult, TableResult
+from repro.search.union_santos import SantosUnionSearch
+from repro.search.union_starmie import StarmieConfig, StarmieUnionSearch
+from repro.search.union_tus import TableUnionSearch, TusConfig
+from repro.understanding.annotate import OntologyAnnotator, TableAnnotation
+from repro.understanding.contextual import ContextualColumnEncoder
+from repro.understanding.domains import DiscoveredDomain, DomainDiscovery
+from repro.understanding.embedding import EmbeddingSpace, train_embeddings
+
+
+class DiscoverySystem:
+    """End-to-end table discovery over a data lake (Figure 1)."""
+
+    def __init__(
+        self,
+        lake: DataLake,
+        config: DiscoveryConfig | None = None,
+        ontology: Ontology | None = None,
+    ):
+        self.lake = lake
+        self.config = (config or DiscoveryConfig()).validate()
+        self.ontology = ontology
+        self.stats = PipelineStats()
+
+        # Populated by build():
+        self.space: EmbeddingSpace | None = None
+        self.encoder: ContextualColumnEncoder | None = None
+        self.domains: list[DiscoveredDomain] = []
+        self.annotations: dict[str, TableAnnotation] = {}
+        self._keyword: KeywordSearchEngine | None = None
+        self._joinable: JoinableSearch | None = None
+        self._tus: TableUnionSearch | None = None
+        self._starmie: StarmieUnionSearch | None = None
+        self._santos: SantosUnionSearch | None = None
+        self._correlated: CorrelatedSearch | None = None
+        self._pexeso: PexesoIndex | None = None
+        self._mate: MateIndex | None = None
+        self._ekg: EnterpriseKnowledgeGraph | None = None
+        self._infogather = None  # built lazily by augment_entities
+        self._org: Organization | None = None
+        self._table_vectors: dict[str, np.ndarray] = {}
+        self._built = False
+
+    # -- offline pipeline ------------------------------------------------------------
+
+    def build(self) -> "DiscoverySystem":
+        """Run the offline pipeline: understand, embed, index (Figure 1 left)."""
+        cfg = self.config
+        lake_stats = self.lake.stats()
+        self.stats.tables = lake_stats["tables"]
+        self.stats.columns = lake_stats["columns"]
+
+        def stage(name: str, fn) -> None:
+            t0 = time.perf_counter()
+            fn()
+            self.stats.stage_seconds[name] = time.perf_counter() - t0
+
+        if cfg.enable_embeddings:
+            stage("embeddings", self._build_embeddings)
+        if cfg.enable_domains:
+            stage("domains", self._build_domains)
+        if cfg.enable_annotation and self.ontology is not None:
+            stage("annotation", self._build_annotations)
+        stage("keyword_index", self._build_keyword)
+        stage("join_index", self._build_joinable)
+        stage("union_index", self._build_union)
+        stage("correlation_index", self._build_correlated)
+        stage("mate_index", self._build_mate)
+        stage("navigation", self._build_navigation)
+        self._built = True
+        return self
+
+    def _build_embeddings(self) -> None:
+        cfg = self.config
+        self.space = train_embeddings(
+            self.lake,
+            dim=cfg.embedding_dim,
+            min_count=cfg.embedding_min_count,
+            seed=cfg.seed,
+        )
+        self.stats.vocabulary = len(self.space.vocab)
+        self.encoder = ContextualColumnEncoder(
+            self.space, context_weight=cfg.context_weight
+        )
+
+    def _build_domains(self) -> None:
+        self.domains = DomainDiscovery().discover(self.lake)
+        self.stats.domains_found = len(self.domains)
+
+    def _build_annotations(self) -> None:
+        annotator = OntologyAnnotator(self.ontology)
+        for table in self.lake:
+            self.annotations[table.name] = annotator.annotate(table)
+
+    def _build_keyword(self) -> None:
+        self._keyword = KeywordSearchEngine()
+        self._keyword.index_lake(self.lake)
+
+    def _build_joinable(self) -> None:
+        cfg = self.config
+        self._joinable = JoinableSearch(
+            self.lake,
+            JoinSearchConfig(
+                num_perm=cfg.num_perm, num_partitions=cfg.num_partitions
+            ),
+        ).build()
+
+    def _build_union(self) -> None:
+        cfg = self.config
+        self._tus = TableUnionSearch(
+            self.lake,
+            ontology=self.ontology,
+            space=self.space,
+            config=TusConfig(measure=cfg.union_measure, num_perm=cfg.num_perm),
+        ).build()
+        if self.encoder is not None:
+            self._starmie = StarmieUnionSearch(
+                self.lake,
+                self.encoder,
+                StarmieConfig(
+                    index=cfg.union_index,
+                    hnsw_m=cfg.hnsw_m,
+                    ef_search=cfg.ef_search,
+                ),
+            ).build()
+            if self.space is not None:
+                self._pexeso = PexesoIndex(self.space).build(self.lake)
+        if self.ontology is not None:
+            self._santos = SantosUnionSearch(self.lake, self.ontology).build()
+
+    def _build_correlated(self) -> None:
+        self._correlated = CorrelatedSearch(
+            sketch_size=self.config.qcr_sketch_size
+        ).build(self.lake)
+
+    def _build_mate(self) -> None:
+        self._mate = MateIndex()
+        self._mate.index_lake(self.lake)
+
+    def _build_navigation(self) -> None:
+        if self.space is None:
+            return
+        for table in self.lake:
+            values = [
+                v
+                for _, col in table.text_columns()
+                for v in col.non_null_values()[:50]
+            ]
+            self._table_vectors[table.name] = self.space.embed_set(values)
+        if self._table_vectors:
+            self._org = Organization.build(
+                self._table_vectors,
+                branching=self.config.org_branching,
+                max_leaf_size=self.config.org_max_leaf,
+            )
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise LakeError("DiscoverySystem.build() has not been called")
+
+    # -- online: table search engine ---------------------------------------------------
+
+    def keyword_search(self, query: str, k: int = 10) -> list[KeywordHit]:
+        """Metadata keyword search (§2.3)."""
+        self._require_built()
+        return self._keyword.search(query, k)
+
+    def joinable_search(
+        self,
+        column: Column | ColumnRef,
+        k: int = 10,
+        method: str = "exact",
+        threshold: float | None = None,
+    ) -> list[ColumnResult]:
+        """Joinable table search (§2.4): 'exact' (JOSIE) or 'containment'
+        (LSH Ensemble) over the query column."""
+        self._require_built()
+        exclude = None
+        if isinstance(column, ColumnRef):
+            exclude = column.table
+            column = self.lake.column(column)
+        if method == "exact":
+            return self._joinable.exact_topk(column, k, exclude_table=exclude)
+        if method == "containment":
+            t = threshold or self.config.containment_threshold
+            return self._joinable.containment(column, t, exclude_table=exclude)[:k]
+        raise ValueError(f"unknown join method {method!r}")
+
+    def fuzzy_joinable_search(
+        self, column: Column | ColumnRef, k: int = 10
+    ) -> list[ColumnResult]:
+        """PEXESO-style fuzzy joinable search over embeddings (§2.4)."""
+        self._require_built()
+        if self._pexeso is None:
+            raise LakeError("embeddings disabled: fuzzy join unavailable")
+        exclude = None
+        if isinstance(column, ColumnRef):
+            exclude = column.table
+            column = self.lake.column(column)
+        return self._pexeso.search(column, k, exclude_table=exclude)
+
+    def multi_attribute_search(
+        self, query: Table, key_columns: list[int], k: int = 10
+    ) -> list[MateHit]:
+        """MATE-style composite-key joinable search (§2.4)."""
+        self._require_built()
+        return self._mate.search(query, key_columns, k)
+
+    def unionable_search(
+        self, query: Table | str, k: int = 10, method: str = "starmie"
+    ) -> list[TableResult]:
+        """Unionable table search (§2.5): 'tus', 'santos', or 'starmie'."""
+        self._require_built()
+        if isinstance(query, str):
+            query = self.lake.table(query)
+        if method == "tus":
+            return self._tus.search(query, k)
+        if method == "santos":
+            if self._santos is None:
+                raise LakeError("no ontology: SANTOS unavailable")
+            return self._santos.search(query, k)
+        if method == "starmie":
+            if self._starmie is None:
+                raise LakeError("embeddings disabled: Starmie unavailable")
+            return self._starmie.search(query, k)
+        raise ValueError(f"unknown union method {method!r}")
+
+    def correlated_search(
+        self, query: Table | str, key_column: int, value_column: int, k: int = 10
+    ) -> list[CorrelatedHit]:
+        """Joinable-and-correlated search via QCR sketches (§2.4)."""
+        self._require_built()
+        if isinstance(query, str):
+            query = self.lake.table(query)
+        return self._correlated.search(query, key_column, value_column, k)
+
+    # -- online: navigation -------------------------------------------------------------
+
+    def organization(self) -> Organization:
+        """The lake-wide navigation hierarchy (§2.6)."""
+        self._require_built()
+        if self._org is None:
+            raise LakeError("embeddings disabled: navigation unavailable")
+        return self._org
+
+    def navigate(self, intent_text: str) -> list[str]:
+        """Navigate the organization toward free-text intent; returns the
+        tables at the reached node."""
+        self._require_built()
+        if self._org is None or self.space is None:
+            raise LakeError("embeddings disabled: navigation unavailable")
+        intent = self.space.embed_set(intent_text.lower().split())
+        _, tables = self._org.navigate(intent)
+        return tables
+
+    def explore_results(self, tables: list[str]) -> Organization:
+        """RONIN-style online organization of a search result set (§2.6)."""
+        self._require_built()
+        return RoninExplorer(self._table_vectors).organize_results(tables)
+
+    def knowledge_graph(self) -> EnterpriseKnowledgeGraph:
+        """Aurum-style EKG over the lake, built lazily (§2.6)."""
+        self._require_built()
+        if self._ekg is None:
+            self._ekg = EnterpriseKnowledgeGraph(self.lake).build()
+        return self._ekg
+
+    def related_columns(
+        self, ref: ColumnRef, k: int = 10
+    ) -> list[tuple[ColumnRef, float]]:
+        """EKG neighbourhood of a column."""
+        return self.knowledge_graph().neighbors(ref)[:k]
+
+    # -- online: data science support ------------------------------------------------------
+
+    def augment_for_ml(
+        self, base: Table | str, key_column: int, target_column: int
+    ) -> AugmentationReport:
+        """ARDA-style feature augmentation for a prediction task (§2.7)."""
+        self._require_built()
+        if isinstance(base, str):
+            base = self.lake.table(base)
+        augmenter = ArdaAugmenter(self.lake).build()
+        return augmenter.augment(base, key_column, target_column)
+
+    def augment_entities(
+        self,
+        entities: list[str],
+        attribute: str | None = None,
+        examples: dict[str, str] | None = None,
+    ):
+        """InfoGather-style entity augmentation (§2.4): fill an attribute
+        for the given entities, either by attribute name or by example."""
+        self._require_built()
+        if self._infogather is None:
+            from repro.search.infogather import InfoGather
+
+            self._infogather = InfoGather(self.lake).build()
+        if attribute is not None:
+            return self._infogather.augment_by_attribute(entities, attribute)
+        if examples:
+            return self._infogather.augment_by_example(entities, examples)
+        raise ValueError("provide either an attribute name or examples")

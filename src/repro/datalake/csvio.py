@@ -1,0 +1,109 @@
+"""From-scratch CSV reading/writing for lake tables.
+
+Implements RFC-4180-style quoting (double quotes, doubled escapes, embedded
+newlines) without relying on pandas; data lakes overwhelmingly consist of
+CSV files (survey §2.1).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.errors import CsvFormatError
+from repro.datalake.table import Table, TableMetadata
+
+
+def parse_csv_text(text: str, delimiter: str = ",") -> list[list[str]]:
+    """Parse CSV text into rows of cells, honoring quoted fields."""
+    rows: list[list[str]] = []
+    field: list[str] = []
+    row: list[str] = []
+    in_quotes = False
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if in_quotes:
+            if ch == '"':
+                if i + 1 < n and text[i + 1] == '"':
+                    field.append('"')
+                    i += 1
+                else:
+                    in_quotes = False
+            else:
+                field.append(ch)
+        else:
+            if ch == '"':
+                if field:
+                    raise CsvFormatError(
+                        f"unexpected quote mid-field at offset {i}"
+                    )
+                in_quotes = True
+            elif ch == delimiter:
+                row.append("".join(field))
+                field = []
+            elif ch == "\n":
+                row.append("".join(field))
+                rows.append(row)
+                field, row = [], []
+            elif ch == "\r":
+                pass  # normalized away; \r\n handled by the \n branch
+            else:
+                field.append(ch)
+        i += 1
+    if in_quotes:
+        raise CsvFormatError("unterminated quoted field at end of input")
+    if field or row:
+        row.append("".join(field))
+        rows.append(row)
+    return rows
+
+
+def format_csv_cell(cell: str, delimiter: str = ",") -> str:
+    """Quote a cell if it contains the delimiter, quotes, or newlines."""
+    s = str(cell)
+    if delimiter in s or '"' in s or "\n" in s or "\r" in s:
+        return '"' + s.replace('"', '""') + '"'
+    return s
+
+
+def rows_to_csv_text(rows: list[list[str]], delimiter: str = ",") -> str:
+    """Serialize row-major cells to CSV text."""
+    return "".join(
+        delimiter.join(format_csv_cell(c, delimiter) for c in row) + "\n"
+        for row in rows
+    )
+
+
+def read_table_csv(
+    path: str | os.PathLike,
+    name: str | None = None,
+    delimiter: str = ",",
+) -> Table:
+    """Read a CSV file as a Table (first row is the header).
+
+    Short rows are padded with empty cells and long rows truncated, mirroring
+    the tolerant ingestion real lake loaders need for messy open data.
+    """
+    path = Path(path)
+    with open(path, encoding="utf-8") as f:
+        raw = parse_csv_text(f.read(), delimiter)
+    if not raw:
+        raise CsvFormatError(f"{path}: empty CSV file")
+    header, body = raw[0], raw[1:]
+    width = len(header)
+    fixed = [
+        (row + [""] * width)[:width] for row in body if any(c.strip() for c in row)
+    ]
+    return Table.from_rows(
+        name or path.stem, header, fixed, TableMetadata(source=str(path))
+    )
+
+
+def write_table_csv(
+    table: Table, path: str | os.PathLike, delimiter: str = ","
+) -> None:
+    """Write a Table to a CSV file, header first."""
+    rows = [table.header] + table.rows()
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(rows_to_csv_text(rows, delimiter))

@@ -1,0 +1,959 @@
+"""Synthetic benchmark-corpus generators with ground truth.
+
+The surveyed systems are evaluated on open-data corpora (TUS benchmark,
+SANTOS benchmark, WebDataCommons) that we cannot ship.  These generators
+build deterministic lakes exhibiting the same phenomena — Zipfian domain
+cardinalities, partial value overlap, synonym noise, unreliable metadata,
+homographs — together with *exact* ground truth, which the real corpora only
+approximate through manual labelling.  Every generator takes a seed and is
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.datalake.lake import DataLake
+from repro.datalake.ontology import Ontology
+from repro.datalake.table import Column, ColumnRef, Table, TableMetadata
+
+# ---------------------------------------------------------------------------
+# Domain pool: the vocabulary substrate shared by all corpora
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Domain:
+    """A semantic domain: a named vocabulary of string values."""
+
+    name: str
+    values: list[str]
+    concept: str  # ontology class name
+
+
+class DomainPool:
+    """A pool of semantic domains with Zipfian cardinalities.
+
+    Domain ``i`` gets a vocabulary of size ``max(min_size, base / (i+1)**skew)``
+    — the cardinality skew that motivates containment search over Jaccard
+    (survey §2.4, LSH Ensemble).
+    """
+
+    def __init__(
+        self,
+        n_domains: int = 30,
+        base_size: int = 2000,
+        min_size: int = 30,
+        skew: float = 1.0,
+        seed: int = 0,
+    ):
+        self.rng = random.Random(seed)
+        self.domains: list[Domain] = []
+        for i in range(n_domains):
+            size = max(min_size, int(base_size / (i + 1) ** skew))
+            concept = f"concept_{i:03d}"
+            values = [f"d{i:03d}_v{j:05d}" for j in range(size)]
+            self.domains.append(Domain(f"domain_{i:03d}", values, concept))
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def domain(self, i: int) -> Domain:
+        return self.domains[i % len(self.domains)]
+
+    def sample_values(
+        self, domain_idx: int, n: int, rng: random.Random | None = None
+    ) -> list[str]:
+        """Sample ``n`` values (with replacement) from a domain."""
+        rng = rng or self.rng
+        vocab = self.domain(domain_idx).values
+        return [rng.choice(vocab) for _ in range(n)]
+
+    def sample_subset(
+        self, domain_idx: int, n: int, rng: random.Random | None = None
+    ) -> list[str]:
+        """Sample ``n`` distinct values from a domain (clipped to vocab size)."""
+        rng = rng or self.rng
+        vocab = self.domain(domain_idx).values
+        n = min(n, len(vocab))
+        return rng.sample(vocab, n)
+
+    def build_ontology(self, relations_per_pair: int = 1) -> Ontology:
+        """Build the full-coverage ontology over this pool.
+
+        Every domain becomes a leaf class under a shared root; consecutive
+        domain pairs get a typed binary relation (used by SANTOS-style
+        relationship matching).
+        """
+        onto = Ontology()
+        onto.add_class("thing")
+        for d in self.domains:
+            onto.add_class(d.concept, parent="thing")
+            for v in d.values:
+                onto.add_value(v, d.concept)
+        for i in range(len(self.domains) - 1):
+            a = self.domains[i].concept
+            b = self.domains[i + 1].concept
+            for r in range(relations_per_pair):
+                onto.add_relation(f"rel_{i:03d}_{r}", a, b)
+        return onto
+
+
+def _numeric_column(name: str, n: int, rng: random.Random) -> Column:
+    return Column(name, [f"{rng.uniform(0, 1000):.2f}" for _ in range(n)])
+
+
+def _pad_table(
+    name: str,
+    key_values: list[str],
+    pool: DomainPool,
+    rng: random.Random,
+    extra_text_cols: int = 1,
+    extra_num_cols: int = 1,
+    key_name: str = "key",
+    meta: TableMetadata | None = None,
+) -> Table:
+    """Wrap a key column with filler text/numeric columns into a table."""
+    n = len(key_values)
+    cols = [Column(key_name, key_values)]
+    for j in range(extra_text_cols):
+        dom = rng.randrange(len(pool))
+        cols.append(Column(f"attr_{j}", pool.sample_values(dom, n, rng)))
+    for j in range(extra_num_cols):
+        cols.append(_numeric_column(f"num_{j}", n, rng))
+    return Table(name, cols, meta)
+
+
+# ---------------------------------------------------------------------------
+# E2/E3: joinable table search corpus (containment-controlled)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JoinQuery:
+    """One joinable-search query with exact containment ground truth."""
+
+    column: ColumnRef  # the query column (lives in the lake too)
+    #: candidate column -> containment of query values in the candidate
+    containments: dict[ColumnRef, float] = field(default_factory=dict)
+
+    def relevant(self, threshold: float) -> set[ColumnRef]:
+        return {
+            ref
+            for ref, c in self.containments.items()
+            if c >= threshold and ref != self.column
+        }
+
+
+@dataclass
+class JoinCorpus:
+    lake: DataLake
+    pool: DomainPool
+    queries: list[JoinQuery]
+
+
+def make_join_corpus(
+    n_tables: int = 120,
+    n_queries: int = 10,
+    base_size: int = 1500,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> JoinCorpus:
+    """Build a lake where candidate columns contain controlled fractions of
+    each query column's values, under Zipfian cardinality skew.
+
+    For each query we plant candidates at containment levels spread over
+    [0.1, 1.0]; remaining tables draw from unrelated domains (near-zero
+    containment).  Ground truth containment is computed exactly afterwards.
+    """
+    rng = random.Random(seed)
+    pool = DomainPool(
+        n_domains=max(10, n_tables // 4),
+        base_size=base_size,
+        skew=skew,
+        seed=seed,
+    )
+    lake = DataLake()
+    query_specs: list[tuple[str, list[str]]] = []
+
+    # Query tables: one per query, drawn from the n_queries largest domains.
+    for q in range(n_queries):
+        values = pool.sample_subset(q, min(200, len(pool.domain(q).values)), rng)
+        name = f"query_{q:03d}"
+        lake.add(_pad_table(name, values, pool, rng, key_name=f"qkey_{q}"))
+        query_specs.append((name, values))
+
+    # Planted candidates: containment level l means the candidate includes
+    # ~l of the query's values plus noise from another domain.
+    levels = [0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0]
+    tid = 0
+    for q, (_, qvalues) in enumerate(query_specs):
+        for li, level in enumerate(levels):
+            take = max(1, int(level * len(qvalues)))
+            overlap = rng.sample(qvalues, take)
+            noise_dom = len(pool) - 1 - (tid % (len(pool) // 2))
+            noise = pool.sample_subset(noise_dom, max(5, take // 2), rng)
+            cand_values = overlap + [v for v in noise if v not in set(overlap)]
+            rng.shuffle(cand_values)
+            name = f"cand_{q:03d}_{li}"
+            lake.add(_pad_table(name, cand_values, pool, rng, key_name="id"))
+            tid += 1
+
+    # Background tables from unrelated domains.
+    while len(lake) < n_tables:
+        dom = rng.randrange(n_queries, len(pool))
+        values = pool.sample_subset(dom, rng.randint(20, 300), rng)
+        lake.add(_pad_table(f"bg_{len(lake):04d}", values, pool, rng))
+
+    # Exact ground truth: containment of query set in every text column.
+    queries = []
+    for q, (qname, qvalues) in enumerate(query_specs):
+        qset = set(qvalues)
+        query = JoinQuery(ColumnRef(qname, 0))
+        for ref, col in lake.iter_text_columns():
+            if ref.table == qname:
+                continue
+            inter = len(qset & col.value_set())
+            if inter:
+                query.containments[ref] = inter / len(qset)
+        queries.append(query)
+    return JoinCorpus(lake, pool, queries)
+
+
+# ---------------------------------------------------------------------------
+# E4/E6/E17: unionable table search corpus (TUS-style groups)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UnionCorpus:
+    lake: DataLake
+    pool: DomainPool
+    ontology: Ontology
+    #: group id -> table names; tables in the same group are unionable
+    groups: dict[int, list[str]]
+    #: query table name -> set of unionable table names (ground truth)
+    truth: dict[str, set[str]]
+
+
+def make_union_corpus(
+    n_groups: int = 12,
+    tables_per_group: int = 8,
+    cols_per_table: int = 4,
+    rows_per_table: int = 60,
+    value_overlap: float = 0.3,
+    seed: int = 0,
+) -> UnionCorpus:
+    """Build TUS-style unionable groups.
+
+    Each group fixes a tuple of domains (one per column position); member
+    tables draw *mostly disjoint* slices of those domains (controlled by
+    ``value_overlap``), so pure set-overlap ranks intra-group tables only
+    moderately while semantic measures (ontology / embeddings) recover them.
+    Column orders are shuffled per table, headers are noisy.
+    """
+    rng = random.Random(seed)
+    pool = DomainPool(
+        n_domains=max(n_groups * cols_per_table, 20),
+        base_size=rows_per_table * tables_per_group * 2,
+        min_size=rows_per_table * 2,
+        skew=0.4,
+        seed=seed,
+    )
+    onto = pool.build_ontology()
+    lake = DataLake()
+    groups: dict[int, list[str]] = {}
+
+    for g in range(n_groups):
+        domains = [g * cols_per_table + c for c in range(cols_per_table)]
+        # Partition each domain's vocabulary into per-table slices + a shared
+        # slice realizing the desired overlap.
+        members = []
+        for m in range(tables_per_group):
+            cols = []
+            order = list(range(cols_per_table))
+            rng.shuffle(order)
+            for c in order:
+                dom = domains[c]
+                vocab = pool.domain(dom).values
+                shared_n = int(value_overlap * rows_per_table)
+                shared = vocab[:shared_n]
+                lo = shared_n + m * rows_per_table
+                own = vocab[lo : lo + rows_per_table - shared_n]
+                vals = (shared + own)[:rows_per_table]
+                while len(vals) < rows_per_table:
+                    vals.append(rng.choice(vocab))
+                rng.shuffle(vals)
+                header = f"{pool.domain(dom).concept}_{rng.randrange(100)}"
+                cols.append(Column(header, vals))
+            name = f"union_g{g:02d}_t{m:02d}"
+            meta = TableMetadata(title=f"group {g} table {m}")
+            lake.add(Table(name, cols, meta))
+            members.append(name)
+        groups[g] = members
+
+    truth = {
+        name: set(members) - {name}
+        for members in groups.values()
+        for name in members
+    }
+    return UnionCorpus(lake, pool, onto, groups, truth)
+
+
+# ---------------------------------------------------------------------------
+# E5: SANTOS-style relationship corpus
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RelationshipCorpus:
+    lake: DataLake
+    pool: DomainPool
+    ontology: Ontology
+    #: query table -> truly unionable tables (same column *relationships*)
+    truth: dict[str, set[str]]
+    #: query table -> confounders (same column domains, different pairing)
+    confounders: dict[str, set[str]]
+
+
+def make_relationship_corpus(
+    n_queries: int = 6,
+    positives_per_query: int = 6,
+    confounders_per_query: int = 6,
+    rows_per_table: int = 50,
+    seed: int = 0,
+) -> RelationshipCorpus:
+    """Corpus where *column relationships*, not column domains, define
+    unionability (the SANTOS insight).
+
+    A query table pairs domains (A, B) row-wise through KB facts.  Positive
+    tables pair the same (A, B) relationship; confounders contain columns
+    from domains A and B but pair A with values of B drawn independently
+    (breaking the fact-level relationship), so column-only matching cannot
+    separate them while relationship-aware matching can.
+    """
+    rng = random.Random(seed)
+    n_dom_pairs = n_queries
+    pool = DomainPool(
+        n_domains=2 * n_dom_pairs + 4,
+        base_size=rows_per_table * 20,
+        min_size=rows_per_table * 10,
+        skew=0.2,
+        seed=seed,
+    )
+    onto = pool.build_ontology()
+
+    # Instance-level facts: value i of domain 2q maps to value i of domain
+    # 2q+1 (a functional relationship, e.g. city -> country).
+    fact_maps: list[dict[str, str]] = []
+    for q in range(n_dom_pairs):
+        a_vals = pool.domain(2 * q).values
+        b_vals = pool.domain(2 * q + 1).values
+        rel = f"factrel_{q:03d}"
+        onto.add_relation(rel, pool.domain(2 * q).concept, pool.domain(2 * q + 1).concept)
+        fmap = {}
+        for i, av in enumerate(a_vals):
+            bv = b_vals[i % len(b_vals)]
+            fmap[av] = bv
+            onto.add_fact(av, bv, rel)
+        fact_maps.append(fmap)
+
+    lake = DataLake()
+    truth: dict[str, set[str]] = {}
+    confounders: dict[str, set[str]] = {}
+
+    def relationship_table(name: str, q: int, respect_facts: bool) -> Table:
+        a_vals = pool.sample_subset(2 * q, rows_per_table, rng)
+        if respect_facts:
+            b_vals = [fact_maps[q][a] for a in a_vals]
+        else:
+            b_vals = pool.sample_values(2 * q + 1, rows_per_table, rng)
+            # Ensure the pairing really is broken for most rows.
+            b_vals = [
+                bv if bv != fact_maps[q][a] else pool.domain(2 * q + 1).values[-1]
+                for a, bv in zip(a_vals, b_vals)
+            ]
+        cols = [
+            Column(f"a_{rng.randrange(100)}", a_vals),
+            Column(f"b_{rng.randrange(100)}", b_vals),
+            _numeric_column("metric", rows_per_table, rng),
+        ]
+        return Table(name, cols)
+
+    for q in range(n_queries):
+        qname = f"relq_{q:02d}"
+        lake.add(relationship_table(qname, q, respect_facts=True))
+        pos, neg = set(), set()
+        for p in range(positives_per_query):
+            name = f"relpos_{q:02d}_{p:02d}"
+            lake.add(relationship_table(name, q, respect_facts=True))
+            pos.add(name)
+        for c in range(confounders_per_query):
+            name = f"relneg_{q:02d}_{c:02d}"
+            lake.add(relationship_table(name, q, respect_facts=False))
+            neg.add(name)
+        truth[qname] = pos
+        confounders[qname] = neg
+
+    return RelationshipCorpus(lake, pool, onto, truth, confounders)
+
+
+# ---------------------------------------------------------------------------
+# E9: correlated-join corpus (QCR)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CorrelationCorpus:
+    lake: DataLake
+    query_table: str
+    query_key: int
+    query_value: int
+    #: candidate table name -> true post-join |Pearson r| with the query column
+    truth: dict[str, float]
+
+
+def make_correlation_corpus(
+    n_candidates: int = 40,
+    n_keys: int = 400,
+    seed: int = 0,
+) -> CorrelationCorpus:
+    """Query table (key, y); candidates (key subset, x) where x is correlated
+    with y at planted levels r in {0, .2, .., 1.0} over the joined rows."""
+    rng = random.Random(seed)
+    keys = [f"k{j:05d}" for j in range(n_keys)]
+    y = {k: rng.gauss(0, 1) for k in keys}
+    lake = DataLake()
+    qname = "corr_query"
+    lake.add(
+        Table(
+            qname,
+            [
+                Column("key", keys),
+                Column("y", [f"{y[k]:.6f}" for k in keys]),
+            ],
+        )
+    )
+    truth: dict[str, float] = {}
+    levels = [0.0, 0.2, 0.4, 0.6, 0.8, 0.95]
+    for i in range(n_candidates):
+        r = levels[i % len(levels)]
+        sub = rng.sample(keys, rng.randint(n_keys // 2, n_keys))
+        xs = []
+        for k in sub:
+            noise = rng.gauss(0, 1)
+            x = r * y[k] + math.sqrt(max(0.0, 1 - r * r)) * noise
+            xs.append(x)
+        name = f"corr_cand_{i:03d}"
+        lake.add(
+            Table(
+                name,
+                [
+                    Column("key", list(sub)),
+                    Column("x", [f"{v:.6f}" for v in xs]),
+                ],
+            )
+        )
+        # Exact truth over the joined rows.
+        n = len(sub)
+        xv = xs
+        yv = [y[k] for k in sub]
+        mx = sum(xv) / n
+        my = sum(yv) / n
+        cov = sum((a - mx) * (b - my) for a, b in zip(xv, yv))
+        vx = sum((a - mx) ** 2 for a in xv)
+        vy = sum((b - my) ** 2 for b in yv)
+        truth[name] = abs(cov / math.sqrt(vx * vy)) if vx > 0 and vy > 0 else 0.0
+    return CorrelationCorpus(lake, qname, 0, 1, truth)
+
+
+# ---------------------------------------------------------------------------
+# E13: homograph corpus
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HomographCorpus:
+    lake: DataLake
+    homographs: set[str]  # values planted in two unrelated domains
+    unambiguous: set[str]
+
+
+def make_homograph_corpus(
+    n_tables: int = 60,
+    n_homographs: int = 15,
+    rows_per_table: int = 40,
+    seed: int = 0,
+) -> HomographCorpus:
+    """Lake where a few values appear across *unrelated* domains (homographs,
+    e.g. 'jaguar' the animal vs. the car), à la DomainNet."""
+    rng = random.Random(seed)
+    pool = DomainPool(n_domains=12, base_size=120, min_size=60, skew=0.3, seed=seed)
+    homographs = {f"homo_{h:03d}" for h in range(n_homographs)}
+    lake = DataLake()
+    tables_values: list[list[str]] = []
+    table_domain: list[int] = []
+    for t in range(n_tables):
+        dom = t % len(pool)
+        vals = pool.sample_subset(dom, rows_per_table, rng)
+        tables_values.append(vals)
+        table_domain.append(dom)
+    # Plant each homograph into a FEW tables of two distinct domains: a
+    # homograph is a *bridge*, not a hub — its degree stays ordinary while
+    # its betweenness (the DomainNet signal) is high.
+    for h in sorted(homographs):
+        d1, d2 = rng.sample(range(len(pool)), 2)
+        for dom in (d1, d2):
+            hosts = [t for t in range(n_tables) if table_domain[t] == dom]
+            for t in rng.sample(hosts, min(2, len(hosts))):
+                tables_values[t][rng.randrange(rows_per_table)] = h
+    for t in range(n_tables):
+        lake.add(
+            _pad_table(
+                f"homo_t{t:03d}", tables_values[t], pool, rng, key_name="entity"
+            )
+        )
+    unambiguous = set()
+    for d in range(len(pool)):
+        unambiguous.update(pool.domain(d).values[:20])
+    return HomographCorpus(lake, homographs, unambiguous)
+
+
+# ---------------------------------------------------------------------------
+# E7: semantic-type corpus (Sherlock / Sato)
+# ---------------------------------------------------------------------------
+
+SEMANTIC_TYPES = [
+    "email",
+    "phone",
+    "url",
+    "date",
+    "year",
+    "price",
+    "percentage",
+    "zipcode",
+    "city",
+    "country",
+    "person_name",
+    "company",
+    "gene",
+    "color",
+    "isbn",
+    "coordinates",
+    "temperature",
+    "duration",
+    "rating",
+    "identifier",
+]
+
+_FIRST = ["alice", "bob", "carol", "david", "erin", "frank", "grace", "henry"]
+_LAST = ["smith", "jones", "chen", "garcia", "patel", "kim", "mueller", "rossi"]
+_CITY = ["springfield", "rivertown", "lakeside", "hillview", "oakdale", "mapleton"]
+_COUNTRY = ["freedonia", "sylvania", "osterlich", "latveria", "genosha", "wakanda"]
+_COMPANY_SFX = ["inc", "llc", "corp", "gmbh", "ltd"]
+_COLOR = ["red", "blue", "green", "teal", "mauve", "ochre", "violet", "amber"]
+_GENE = ["brca", "tp", "egfr", "kras", "myc", "pten"]
+_TOPIC_HINTS = {
+    # Sato-style context: types co-occur with topical sibling types.
+    "email": "contact",
+    "phone": "contact",
+    "url": "contact",
+    "person_name": "contact",
+    "city": "geo",
+    "country": "geo",
+    "zipcode": "geo",
+    "coordinates": "geo",
+    "price": "commerce",
+    "percentage": "commerce",
+    "rating": "commerce",
+    "company": "commerce",
+    "date": "time",
+    "year": "time",
+    "duration": "time",
+    "temperature": "science",
+    "gene": "science",
+    "isbn": "science",
+    "color": "misc",
+    "identifier": "misc",
+}
+
+
+# Cross-topic pairs that render identically when "ambiguous": per-column
+# features cannot separate them, only table context can (the Sato effect).
+AMBIGUOUS_RENDER = {
+    "price": "decimal",
+    "temperature": "decimal",
+    "zipcode": "code5",
+    "identifier": "code5",
+    "rating": "smallint",
+    "duration": "smallint",
+}
+
+
+def generate_typed_values(
+    sem_type: str, n: int, rng: random.Random, ambiguous: bool = False
+) -> list[str]:
+    """Generate ``n`` realistic-looking cells of a semantic type.
+
+    With ``ambiguous=True``, types in AMBIGUOUS_RENDER are rendered as bare
+    numbers drawn from a shared distribution, so that the column alone does
+    not identify the type.
+    """
+    if ambiguous and sem_type in AMBIGUOUS_RENDER:
+        style = AMBIGUOUS_RENDER[sem_type]
+        if style == "decimal":
+            return [f"{rng.uniform(0, 100):.1f}" for _ in range(n)]
+        if style == "code5":
+            return [str(rng.randint(10000, 99999)) for _ in range(n)]
+        return [str(rng.randint(1, 10)) for _ in range(n)]
+    out = []
+    for _ in range(n):
+        if sem_type == "email":
+            out.append(
+                f"{rng.choice(_FIRST)}.{rng.choice(_LAST)}@{rng.choice(['mail', 'corp', 'uni'])}.com"
+            )
+        elif sem_type == "phone":
+            out.append(
+                f"({rng.randint(200, 999)}) {rng.randint(200, 999)}-{rng.randint(1000, 9999)}"
+            )
+        elif sem_type == "url":
+            out.append(f"https://www.{rng.choice(_LAST)}{rng.randint(1, 99)}.org/page")
+        elif sem_type == "date":
+            out.append(
+                f"{rng.randint(1990, 2023)}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+            )
+        elif sem_type == "year":
+            out.append(str(rng.randint(1900, 2023)))
+        elif sem_type == "price":
+            out.append(f"${rng.uniform(1, 5000):.2f}")
+        elif sem_type == "percentage":
+            out.append(f"{rng.uniform(0, 100):.1f}%")
+        elif sem_type == "zipcode":
+            out.append(f"{rng.randint(10000, 99999)}")
+        elif sem_type == "city":
+            out.append(rng.choice(_CITY))
+        elif sem_type == "country":
+            out.append(rng.choice(_COUNTRY))
+        elif sem_type == "person_name":
+            out.append(f"{rng.choice(_FIRST)} {rng.choice(_LAST)}")
+        elif sem_type == "company":
+            out.append(f"{rng.choice(_LAST)} {rng.choice(_COMPANY_SFX)}")
+        elif sem_type == "gene":
+            out.append(f"{rng.choice(_GENE)}{rng.randint(1, 99)}")
+        elif sem_type == "color":
+            out.append(rng.choice(_COLOR))
+        elif sem_type == "isbn":
+            out.append(f"978-{rng.randint(0, 9)}-{rng.randint(10, 99)}-{rng.randint(100000, 999999)}-{rng.randint(0, 9)}")
+        elif sem_type == "coordinates":
+            out.append(f"{rng.uniform(-90, 90):.4f},{rng.uniform(-180, 180):.4f}")
+        elif sem_type == "temperature":
+            out.append(f"{rng.uniform(-30, 45):.1f}C")
+        elif sem_type == "duration":
+            out.append(f"{rng.randint(0, 9)}h{rng.randint(0, 59)}m")
+        elif sem_type == "rating":
+            out.append(f"{rng.randint(1, 5)}/5")
+        elif sem_type == "identifier":
+            out.append(f"id-{rng.getrandbits(32):08x}")
+        else:
+            raise ValueError(f"unknown semantic type {sem_type!r}")
+    return out
+
+
+@dataclass
+class TypedCorpus:
+    lake: DataLake
+    #: column ref -> semantic type label
+    labels: dict[ColumnRef, str]
+
+
+def make_typed_corpus(
+    n_tables: int = 80,
+    cols_per_table: int = 5,
+    rows_per_table: int = 40,
+    ambiguity: float = 0.6,
+    seed: int = 0,
+) -> TypedCorpus:
+    """Tables whose columns carry known semantic types; columns within a
+    table are drawn from the same topic (so table context is informative,
+    the Sato effect).  ``ambiguity`` is the probability that a type with an
+    ambiguous rendering (see AMBIGUOUS_RENDER) is rendered as bare numbers —
+    indistinguishable per-column from its cross-topic twin."""
+    rng = random.Random(seed)
+    topics: dict[str, list[str]] = {}
+    for t, topic in _TOPIC_HINTS.items():
+        topics.setdefault(topic, []).append(t)
+    topic_names = sorted(topics)
+    lake = DataLake()
+    labels: dict[ColumnRef, str] = {}
+    for t in range(n_tables):
+        topic = topic_names[t % len(topic_names)]
+        # Mostly same-topic columns with some cross-topic noise.
+        cols = []
+        for c in range(cols_per_table):
+            if rng.random() < 0.9:
+                sem = rng.choice(topics[topic])
+            else:
+                sem = rng.choice(SEMANTIC_TYPES)
+            ambiguous = rng.random() < ambiguity
+            values = generate_typed_values(sem, rows_per_table, rng, ambiguous)
+            cols.append((sem, Column(f"col_{c}", values)))
+        name = f"typed_{t:03d}"
+        lake.add(Table(name, [c for _, c in cols]))
+        for i, (sem, _) in enumerate(cols):
+            labels[ColumnRef(name, i)] = sem
+    return TypedCorpus(lake, labels)
+
+
+# ---------------------------------------------------------------------------
+# E15: keyword/metadata corpus
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KeywordCorpus:
+    lake: DataLake
+    #: query string -> relevant table names
+    truth: dict[str, set[str]]
+
+
+def make_keyword_corpus(
+    n_topics: int = 8,
+    tables_per_topic: int = 10,
+    seed: int = 0,
+) -> KeywordCorpus:
+    """Tables with topical metadata using inconsistent vocabularies: each
+    topic has several synonym phrasings, so naive exact matching misses
+    relevant tables while BM25 over all metadata text recovers them."""
+    rng = random.Random(seed)
+    topics = {
+        f"topic{t}": [f"topic{t}", f"syn{t}a", f"syn{t}b"] for t in range(n_topics)
+    }
+    pool = DomainPool(n_domains=n_topics + 2, base_size=300, seed=seed)
+    lake = DataLake()
+    truth: dict[str, set[str]] = {f"topic{t}": set() for t in range(n_topics)}
+    for t in range(n_topics):
+        names = topics[f"topic{t}"]
+        for m in range(tables_per_topic):
+            phrase = names[m % len(names)]
+            # Vocabulary inconsistency: titles use whichever synonym the
+            # publisher picked, while the long description sometimes names
+            # the canonical series — exactly the messy metadata BM25-over-
+            # everything exploits and exact title matching cannot.
+            canonical_hint = f"({names[0]} series)" if m % 3 else ""
+            meta = TableMetadata(
+                title=f"{phrase} annual report {2000 + m}",
+                description=(
+                    f"records about {phrase} {canonical_hint} "
+                    f"collected by agency {m}"
+                ),
+                tags=[phrase, "open-data"],
+            )
+            values = pool.sample_subset(t, 30, rng)
+            name = f"kw_{t:02d}_{m:02d}"
+            lake.add(_pad_table(name, values, pool, rng, meta=meta))
+            truth[f"topic{t}"].add(name)
+    return KeywordCorpus(lake, truth)
+
+
+# ---------------------------------------------------------------------------
+# E12: ML augmentation corpus (ARDA)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MLCorpus:
+    lake: DataLake
+    base_table: str
+    target_column: str
+    key_column: str
+    #: table names whose numeric column truly contributes to the target
+    informative: set[str]
+    noise: set[str]
+
+
+def make_ml_corpus(
+    n_rows: int = 300,
+    n_informative: int = 4,
+    n_noise: int = 8,
+    noise_level: float = 0.3,
+    seed: int = 0,
+) -> MLCorpus:
+    """Regression task whose signal lives in *other* joinable tables.
+
+    The base table holds (key, weak_feature, target); the target is a linear
+    function of hidden features stored in ``n_informative`` candidate tables
+    (plus noise); ``n_noise`` candidates hold irrelevant numbers.  ARDA-style
+    augmentation should recover the informative joins and reject the noise.
+    """
+    rng = random.Random(seed)
+    keys = [f"e{j:05d}" for j in range(n_rows)]
+    hidden = [[rng.gauss(0, 1) for _ in range(n_rows)] for _ in range(n_informative)]
+    weights = [rng.uniform(0.5, 2.0) for _ in range(n_informative)]
+    weak = [rng.gauss(0, 1) for _ in range(n_rows)]
+    target = [
+        0.3 * weak[i]
+        + sum(w * hidden[f][i] for f, w in enumerate(weights))
+        + rng.gauss(0, noise_level)
+        for i in range(n_rows)
+    ]
+    lake = DataLake()
+    base = Table(
+        "ml_base",
+        [
+            Column("key", keys),
+            Column("weak_feature", [f"{v:.6f}" for v in weak]),
+            Column("target", [f"{v:.6f}" for v in target]),
+        ],
+    )
+    lake.add(base)
+    informative, noise = set(), set()
+    for f in range(n_informative):
+        name = f"ml_info_{f:02d}"
+        keep = sorted(rng.sample(range(n_rows), int(0.9 * n_rows)))
+        lake.add(
+            Table(
+                name,
+                [
+                    Column("key", [keys[i] for i in keep]),
+                    Column("feature", [f"{hidden[f][i]:.6f}" for i in keep]),
+                ],
+            )
+        )
+        informative.add(name)
+    for f in range(n_noise):
+        name = f"ml_noise_{f:02d}"
+        keep = sorted(rng.sample(range(n_rows), int(0.9 * n_rows)))
+        lake.add(
+            Table(
+                name,
+                [
+                    Column("key", [keys[i] for i in keep]),
+                    Column("feature", [f"{rng.gauss(0, 1):.6f}" for _ in keep]),
+                ],
+            )
+        )
+        noise.add(name)
+    return MLCorpus(lake, "ml_base", "target", "key", informative, noise)
+
+
+# ---------------------------------------------------------------------------
+# E18: stitching / KB completion corpus
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StitchCorpus:
+    lake: DataLake
+    #: all true (subject, predicate, object) facts spread across tables
+    facts: set[tuple[str, str, str]]
+    #: predicate -> the synonym headers it hides behind
+    header_synonyms: dict[str, list[str]]
+
+
+def make_stitch_corpus(
+    n_fragments: int = 30,
+    rows_per_fragment: int = 12,
+    n_predicates: int = 3,
+    seed: int = 0,
+) -> StitchCorpus:
+    """Many small web-table fragments of one logical relation, with synonym
+    headers (Lehmberg & Bizer).  Stitching them enables KB completion."""
+    rng = random.Random(seed)
+    predicates = [f"pred_{p}" for p in range(n_predicates)]
+    header_synonyms = {
+        p: [p, p.replace("pred", "attr"), p.replace("pred", "field")]
+        for p in predicates
+    }
+    subjects = [f"entity_{e:04d}" for e in range(n_fragments * rows_per_fragment)]
+    facts = set()
+    lake = DataLake()
+    si = 0
+    for f in range(n_fragments):
+        rows = []
+        subs = subjects[si : si + rows_per_fragment]
+        si += rows_per_fragment
+        for s in subs:
+            row = [s]
+            for p in predicates:
+                o = f"{p}_val_{rng.randrange(200):04d}"
+                facts.add((s, p, o))
+                row.append(o)
+            rows.append(row)
+        header = ["entity"] + [
+            rng.choice(header_synonyms[p]) for p in predicates
+        ]
+        lake.add(Table(f"stitch_{f:03d}", *_cols_from_rows(header, rows)))
+    return StitchCorpus(lake, facts, header_synonyms)
+
+
+def _cols_from_rows(header: list[str], rows: list[list[str]]):
+    cols = [
+        Column(h, [row[j] for row in rows]) for j, h in enumerate(header)
+    ]
+    return (cols,)
+
+
+# ---------------------------------------------------------------------------
+# E14: composite-key corpus (MATE)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompositeKeyCorpus:
+    lake: DataLake
+    query_table: str
+    key_columns: tuple[int, int]
+    #: candidate -> fraction of query composite keys it contains
+    truth: dict[str, float]
+
+
+def make_composite_key_corpus(
+    n_candidates: int = 30,
+    n_rows: int = 200,
+    seed: int = 0,
+) -> CompositeKeyCorpus:
+    """Joins are only valid on the *pair* (first, second): single columns
+    overlap heavily across all candidates, composite keys discriminate."""
+    rng = random.Random(seed)
+    firsts = [f"f{j:03d}" for j in range(40)]
+    seconds = [f"s{j:03d}" for j in range(40)]
+    qpairs = [(rng.choice(firsts), rng.choice(seconds)) for _ in range(n_rows)]
+    lake = DataLake()
+    lake.add(
+        Table(
+            "mate_query",
+            [
+                Column("first", [a for a, _ in qpairs]),
+                Column("second", [b for _, b in qpairs]),
+                Column("val", [str(i) for i in range(n_rows)]),
+            ],
+        )
+    )
+    truth = {}
+    qset = set(qpairs)
+    levels = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    for i in range(n_candidates):
+        level = levels[i % len(levels)]
+        take = int(level * len(qset))
+        pairs = rng.sample(sorted(qset), take)
+        # Fill with pairs sharing single values but not the combination.
+        while len(pairs) < n_rows:
+            p = (rng.choice(firsts), rng.choice(seconds))
+            if p not in qset:
+                pairs.append(p)
+        rng.shuffle(pairs)
+        name = f"mate_cand_{i:03d}"
+        lake.add(
+            Table(
+                name,
+                [
+                    Column("first", [a for a, _ in pairs]),
+                    Column("second", [b for _, b in pairs]),
+                    Column("extra", [str(j) for j in range(len(pairs))]),
+                ],
+            )
+        )
+        truth[name] = len(set(pairs) & qset) / len(qset)
+    return CompositeKeyCorpus(lake, "mate_query", (0, 1), truth)

@@ -1,0 +1,111 @@
+"""The DataLake catalog: the collection of tables every index and search
+operates over (the green "Data Lake Management System" box in Figure 1)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.errors import LakeError
+from repro.datalake.csvio import read_table_csv
+from repro.datalake.table import Column, ColumnRef, Table
+
+
+class DataLake:
+    """An in-memory catalog of named tables with column-level addressing."""
+
+    def __init__(self, tables: list[Table] | None = None):
+        self._tables: dict[str, Table] = {}
+        for t in tables or []:
+            self.add(t)
+
+    # -- catalog management ----------------------------------------------------
+
+    def add(self, table: Table) -> None:
+        """Register a table; table names must be unique within the lake."""
+        if table.name in self._tables:
+            raise LakeError(f"duplicate table name {table.name!r}")
+        self._tables[table.name] = table
+
+    def remove(self, name: str) -> None:
+        if name not in self._tables:
+            raise LakeError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise LakeError(f"no table named {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    # -- column addressing -----------------------------------------------------
+
+    def column(self, ref: ColumnRef) -> Column:
+        """Resolve a ColumnRef to its Column."""
+        table = self.table(ref.table)
+        if not 0 <= ref.index < table.num_cols:
+            raise LakeError(f"{ref} out of range for {table!r}")
+        return table.columns[ref.index]
+
+    def iter_columns(self) -> Iterator[tuple[ColumnRef, Column]]:
+        """Iterate every (ref, column) pair in the lake."""
+        for t in self._tables.values():
+            for i, c in enumerate(t.columns):
+                yield ColumnRef(t.name, i), c
+
+    def iter_text_columns(self) -> Iterator[tuple[ColumnRef, Column]]:
+        for ref, col in self.iter_columns():
+            if not col.is_numeric:
+                yield ref, col
+
+    def iter_numeric_columns(self) -> Iterator[tuple[ColumnRef, Column]]:
+        for ref, col in self.iter_columns():
+            if col.is_numeric:
+                yield ref, col
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Summary statistics of the lake (sizes, column counts, cell count)."""
+        n_cols = sum(t.num_cols for t in self)
+        n_rows = sum(t.num_rows for t in self)
+        n_cells = sum(t.num_rows * t.num_cols for t in self)
+        return {
+            "tables": len(self),
+            "columns": n_cols,
+            "rows": n_rows,
+            "cells": n_cells,
+        }
+
+    # -- ingestion ---------------------------------------------------------------
+
+
+    def save_to_directory(self, directory: str | os.PathLike) -> None:
+        """Write every table as ``<name>.csv`` under a directory."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        from repro.datalake.csvio import write_table_csv
+
+        for table in self:
+            write_table_csv(table, path / f"{table.name}.csv")
+
+    @classmethod
+    def from_directory(cls, directory: str | os.PathLike) -> "DataLake":
+        """Ingest every ``*.csv`` file under a directory (sorted, recursive)."""
+        lake = cls()
+        for path in sorted(Path(directory).rglob("*.csv")):
+            lake.add(read_table_csv(path))
+        return lake

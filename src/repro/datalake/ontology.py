@@ -1,0 +1,185 @@
+"""Synthetic ontology / knowledge base substrate.
+
+Surveyed systems (Das Sarma et al., TUS's semantic measure, SANTOS) consume
+an external KB such as YAGO: a class hierarchy, a value->class map, and typed
+binary relations between classes.  Real KBs are proprietary or too large to
+ship, so we build a deterministic synthetic ontology over the lake's value
+vocabulary.  The essential behaviour is preserved: lookups are
+high-precision, but *coverage* is partial — the ``coverage`` knob controls
+the fraction of values the KB knows about, reproducing the KB-precision vs.
+LM-recall trade-off that §3 of the tutorial highlights.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OntologyClass:
+    """A class (semantic type) in the hierarchy."""
+
+    name: str
+    parent: str | None = None
+    values: set[str] = field(default_factory=set)
+
+
+class Ontology:
+    """Class hierarchy + value->class map + typed binary relations."""
+
+    def __init__(self):
+        self._classes: dict[str, OntologyClass] = {}
+        self._value_to_class: dict[str, str] = {}
+        # relation name -> set of (subject class, object class)
+        self._relations: dict[str, set[tuple[str, str]]] = {}
+        # (subject value, object value) -> relation name (instance-level facts)
+        self._facts: dict[tuple[str, str], str] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_class(self, name: str, parent: str | None = None) -> None:
+        if parent is not None and parent not in self._classes:
+            raise KeyError(f"unknown parent class {parent!r}")
+        self._classes[name] = OntologyClass(name, parent)
+
+    def add_value(self, value: str, cls: str) -> None:
+        if cls not in self._classes:
+            raise KeyError(f"unknown class {cls!r}")
+        value = str(value).lower()
+        self._value_to_class[value] = cls
+        self._classes[cls].values.add(value)
+
+    def add_relation(self, name: str, subject_cls: str, object_cls: str) -> None:
+        self._relations.setdefault(name, set()).add((subject_cls, object_cls))
+
+    def add_fact(self, subject: str, obj: str, relation: str) -> None:
+        self._facts[(str(subject).lower(), str(obj).lower())] = relation
+
+    # -- lookups -----------------------------------------------------------------
+
+    def classes(self) -> list[str]:
+        return list(self._classes)
+
+    def class_of(self, value: str) -> str | None:
+        """The (leaf) class a value belongs to, or None if uncovered."""
+        return self._value_to_class.get(str(value).lower())
+
+    def ancestors(self, cls: str) -> list[str]:
+        """The class and all its ancestors, leaf first."""
+        out = []
+        cur: str | None = cls
+        while cur is not None:
+            out.append(cur)
+            cur = self._classes[cur].parent
+        return out
+
+    def classes_of(self, value: str, with_ancestors: bool = True) -> set[str]:
+        """All classes a value belongs to (optionally expanding the hierarchy)."""
+        leaf = self.class_of(value)
+        if leaf is None:
+            return set()
+        return set(self.ancestors(leaf)) if with_ancestors else {leaf}
+
+    def relation_between_classes(self, a: str, b: str) -> str | None:
+        """A relation name declared between classes a and b (either direction)."""
+        for name, pairs in self._relations.items():
+            if (a, b) in pairs or (b, a) in pairs:
+                return name
+        return None
+
+    def relation_between_values(self, a: str, b: str) -> str | None:
+        """Instance-level fact lookup, falling back to class-level relations."""
+        fact = self._facts.get((str(a).lower(), str(b).lower()))
+        if fact is None:
+            fact = self._facts.get((str(b).lower(), str(a).lower()))
+        if fact is not None:
+            return fact
+        ca, cb = self.class_of(a), self.class_of(b)
+        if ca is None or cb is None:
+            return None
+        return self.relation_between_classes(ca, cb)
+
+    def coverage_of(self, values: list[str]) -> float:
+        """Fraction of the given values the ontology knows about."""
+        if not values:
+            return 0.0
+        known = sum(1 for v in values if self.class_of(v) is not None)
+        return known / len(values)
+
+    def num_facts(self) -> int:
+        return len(self._facts)
+
+    # -- annotation --------------------------------------------------------------
+
+    def annotate_column(
+        self, values: list[str], min_support: float = 0.5
+    ) -> str | None:
+        """Majority-vote class annotation of a column (Limaye/Venetis style).
+
+        Returns the class covering the largest share of covered values if that
+        share (among *all* values) reaches ``min_support`` times coverage.
+        """
+        votes: dict[str, int] = {}
+        for v in values:
+            c = self.class_of(v)
+            if c is not None:
+                votes[c] = votes.get(c, 0) + 1
+        if not votes:
+            return None
+        best, n = max(votes.items(), key=lambda kv: kv[1])
+        covered = sum(votes.values())
+        if covered == 0 or n < min_support * covered:
+            return None
+        return best
+
+
+def subsample_ontology(
+    onto: Ontology, coverage: float, seed: int = 0,
+    granularity: str = "value",
+) -> Ontology:
+    """Return a copy of the ontology knowing only a ``coverage`` fraction of
+    values (classes, hierarchy, and class-level relations are kept).
+
+    ``granularity`` controls *how* coverage fails, modelling two real-KB
+    failure modes: "value" drops individual values uniformly (sparse
+    annotation), while "class" drops entire leaf classes (whole lake
+    domains absent from the KB — the common case for lake-specific
+    vocabulary, and the mode that actually hurts semantic discovery).
+    """
+    if granularity not in ("value", "class"):
+        raise ValueError(f"unknown granularity {granularity!r}")
+    rng = random.Random(seed)
+    kept_classes: set[str] | None = None
+    if granularity == "class":
+        kept_classes = {
+            name for name in onto._classes if rng.random() < coverage
+        }
+    out = Ontology()
+    # Re-add classes respecting parent order.
+    added: set[str] = set()
+
+    def add_with_parents(name: str) -> None:
+        if name in added:
+            return
+        parent = onto._classes[name].parent
+        if parent is not None:
+            add_with_parents(parent)
+        out.add_class(name, parent)
+        added.add(name)
+
+    for name in onto._classes:
+        add_with_parents(name)
+    for name, pairs in onto._relations.items():
+        for a, b in pairs:
+            out.add_relation(name, a, b)
+    for value, cls in onto._value_to_class.items():
+        if kept_classes is not None:
+            if cls in kept_classes:
+                out.add_value(value, cls)
+        elif rng.random() < coverage:
+            out.add_value(value, cls)
+    for (s, o), rel in onto._facts.items():
+        if out.class_of(s) is not None and out.class_of(o) is not None:
+            out.add_fact(s, o, rel)
+    return out

@@ -1,0 +1,32 @@
+"""Navigation support and lake-as-graph analyses (survey §2.6/§3)."""
+
+from repro.graph.aurum import (
+    AurumConfig,
+    EnterpriseKnowledgeGraph,
+    EDGE_CONTENT,
+    EDGE_PKFK,
+    EDGE_SEMANTIC,
+    EDGE_SCHEMA,
+)
+from repro.graph.homograph import HomographDetector, HomographScore
+from repro.graph.organize import (
+    Organization,
+    OrgNode,
+    flat_navigation_cost,
+)
+from repro.graph.ronin import RoninExplorer
+
+__all__ = [
+    "AurumConfig",
+    "EDGE_CONTENT",
+    "EDGE_PKFK",
+    "EDGE_SEMANTIC",
+    "EDGE_SCHEMA",
+    "EnterpriseKnowledgeGraph",
+    "HomographDetector",
+    "HomographScore",
+    "OrgNode",
+    "Organization",
+    "RoninExplorer",
+    "flat_navigation_cost",
+]

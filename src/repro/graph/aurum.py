@@ -1,0 +1,180 @@
+"""Aurum-style Enterprise Knowledge Graph (Fernandez et al., ICDE'18).
+
+Aurum models a lake as a graph whose nodes are columns and whose edges
+capture relationships discovered from profiles: content similarity
+(MinHash), schema/header similarity, and inclusion-dependency (PK-FK)
+candidates.  Discovery queries become graph traversals: neighbours of a
+column, paths between tables, and "seeping semantics" relatedness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import ColumnRef, tokenize
+from repro.sketch.minhash import MinHash
+from repro.sketch.lsh import MinHashLSH
+
+EDGE_CONTENT = "content"
+EDGE_SCHEMA = "schema"
+EDGE_PKFK = "pkfk"
+EDGE_SEMANTIC = "semantic"
+
+
+@dataclass
+class AurumConfig:
+    num_perm: int = 128
+    # The EKG is a high-recall linkage graph: a low content threshold keeps
+    # partially-overlapping columns connected (queries verify weights).
+    content_threshold: float = 0.15
+    schema_threshold: float = 0.5
+    pkfk_containment: float = 0.85
+    min_column_size: int = 2
+
+
+class EnterpriseKnowledgeGraph:
+    """Column-level knowledge graph over a data lake.
+
+    Passing an ``EmbeddingSpace`` adds "seeping semantics" edges (Fernandez
+    et al., ICDE'18b): columns whose value embeddings are close get linked
+    even when their raw values never overlap.
+    """
+
+    def __init__(
+        self,
+        lake: DataLake,
+        config: AurumConfig | None = None,
+        space=None,
+        semantic_threshold: float = 0.7,
+    ):
+        self.lake = lake
+        self.config = config or AurumConfig()
+        self.space = space
+        self.semantic_threshold = semantic_threshold
+        self.graph = nx.Graph()
+        self._built = False
+
+    def build(self) -> "EnterpriseKnowledgeGraph":
+        cfg = self.config
+        cols = []
+        for ref, col in self.lake.iter_text_columns():
+            values = col.value_set()
+            if len(values) < cfg.min_column_size:
+                continue
+            mh = MinHash.from_values(values, num_perm=cfg.num_perm)
+            cols.append((ref, col, values, mh))
+            self.graph.add_node(ref, size=len(values), name=col.name)
+
+        # Content edges via LSH (avoids all-pairs).
+        lsh = MinHashLSH(threshold=cfg.content_threshold, num_perm=cfg.num_perm)
+        for ref, _, _, mh in cols:
+            lsh.insert(ref, mh)
+        by_ref = {ref: (col, values, mh) for ref, col, values, mh in cols}
+        for ref, _, values, mh in cols:
+            for other, j in lsh.query_verified(mh):
+                if other == ref or self.graph.has_edge(ref, other):
+                    continue
+                self.graph.add_edge(ref, other, kind=EDGE_CONTENT, weight=j)
+                # PK-FK candidate: near-total containment one way with a
+                # cardinality gap.
+                o_values = by_ref[other][1]
+                small, large = (
+                    (values, o_values)
+                    if len(values) <= len(o_values)
+                    else (o_values, values)
+                )
+                if small and len(small & large) / len(small) >= cfg.pkfk_containment:
+                    if len(large) >= 2 * len(small):
+                        self.graph[ref][other]["pkfk"] = True
+
+        # Seeping-semantics edges: embedding proximity links columns whose
+        # values never overlap syntactically.
+        if self.space is not None:
+            import numpy as np
+
+            embedded = [
+                (ref, self.space.embed_set(values))
+                for ref, _, values, _ in cols
+            ]
+            embedded = [
+                (ref, v) for ref, v in embedded if np.linalg.norm(v) > 0
+            ]
+            for i in range(len(embedded)):
+                ra, va = embedded[i]
+                for j in range(i + 1, len(embedded)):
+                    rb, vb = embedded[j]
+                    if self.graph.has_edge(ra, rb):
+                        continue
+                    sim = float(np.dot(va, vb))
+                    if sim >= self.semantic_threshold:
+                        self.graph.add_edge(
+                            ra, rb, kind=EDGE_SEMANTIC, weight=sim
+                        )
+
+        # Schema edges: header token Jaccard.
+        headers = [(ref, set(tokenize(col.name))) for ref, col, _, _ in cols]
+        for i in range(len(headers)):
+            for j in range(i + 1, len(headers)):
+                ra, ta = headers[i]
+                rb, tb = headers[j]
+                if not ta or not tb:
+                    continue
+                sim = len(ta & tb) / len(ta | tb)
+                if sim >= self.config.schema_threshold and not self.graph.has_edge(ra, rb):
+                    self.graph.add_edge(ra, rb, kind=EDGE_SCHEMA, weight=sim)
+        self._built = True
+        return self
+
+    # -- discovery queries -----------------------------------------------------------
+
+    def neighbors(
+        self, ref: ColumnRef, kind: str | None = None
+    ) -> list[tuple[ColumnRef, float]]:
+        """Directly related columns, optionally filtered by edge kind."""
+        if ref not in self.graph:
+            return []
+        out = []
+        for other in self.graph.neighbors(ref):
+            data = self.graph[ref][other]
+            if kind is None or data.get("kind") == kind:
+                out.append((other, float(data.get("weight", 0.0))))
+        out.sort(key=lambda kv: (-kv[1], str(kv[0])))
+        return out
+
+    def pkfk_candidates(self) -> list[tuple[ColumnRef, ColumnRef]]:
+        """All inclusion-dependency candidate pairs."""
+        return [
+            (a, b)
+            for a, b, data in self.graph.edges(data=True)
+            if data.get("pkfk")
+        ]
+
+    def table_path(self, src_table: str, dst_table: str) -> list[ColumnRef]:
+        """A shortest column path connecting two tables ([] if none)."""
+        sources = [n for n in self.graph if n.table == src_table]
+        targets = {n for n in self.graph if n.table == dst_table}
+        for s in sources:
+            lengths = nx.single_source_shortest_path(self.graph, s)
+            best = None
+            for t in targets:
+                if t in lengths and (best is None or len(lengths[t]) < len(best)):
+                    best = lengths[t]
+            if best:
+                return best
+        return []
+
+    def related_tables(self, table: str, k: int = 10) -> list[tuple[str, float]]:
+        """Tables ranked by total edge weight to the given table's columns."""
+        weights: dict[str, float] = {}
+        for n in self.graph:
+            if n.table != table:
+                continue
+            for other in self.graph.neighbors(n):
+                if other.table != table:
+                    w = float(self.graph[n][other].get("weight", 0.0))
+                    weights[other.table] = weights.get(other.table, 0.0) + w
+        ranked = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]

@@ -1,0 +1,61 @@
+"""DomainNet: homograph detection via graph centrality (Leventidis et al.,
+EDBT'21).
+
+A homograph is one string denoting different real-world entities in
+different contexts ('jaguar': animal vs. car) — poison for value-overlap
+discovery.  DomainNet builds the bipartite value-column graph of the lake
+and observes that homographs are *bridges* between otherwise disconnected
+domain regions, so they rank high on betweenness centrality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.datalake.lake import DataLake
+
+
+@dataclass(frozen=True)
+class HomographScore:
+    value: str
+    score: float
+
+    def __lt__(self, other: "HomographScore") -> bool:
+        return (-self.score, self.value) < (-other.score, other.value)
+
+
+class HomographDetector:
+    """Betweenness-centrality homograph scoring on the value-column graph."""
+
+    def __init__(self, max_column_values: int = 500, approx_samples: int = 200):
+        self.max_column_values = max_column_values
+        self.approx_samples = approx_samples
+
+    def build_graph(self, lake: DataLake) -> nx.Graph:
+        """Bipartite graph: value nodes <-> the columns containing them."""
+        g = nx.Graph()
+        for ref, col in lake.iter_text_columns():
+            cnode = ("col", str(ref))
+            for v in sorted(col.value_set())[: self.max_column_values]:
+                g.add_edge(("val", v), cnode)
+        return g
+
+    def score_values(self, lake: DataLake) -> list[HomographScore]:
+        """All values ranked by (approximate) betweenness centrality."""
+        g = self.build_graph(lake)
+        n = g.number_of_nodes()
+        if n == 0:
+            return []
+        k = min(self.approx_samples, n)
+        centrality = nx.betweenness_centrality(g, k=k, seed=7)
+        out = [
+            HomographScore(node[1], float(c))
+            for node, c in centrality.items()
+            if node[0] == "val"
+        ]
+        return sorted(out)
+
+    def top_homographs(self, lake: DataLake, k: int = 20) -> list[HomographScore]:
+        return self.score_values(lake)[:k]

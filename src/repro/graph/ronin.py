@@ -1,0 +1,56 @@
+"""RONIN: online organization of search results (Ouellette et al., VLDB'21).
+
+RONIN bridges query-driven discovery and navigation (survey §2.6/§3): after
+a search returns a set of tables, it builds an organization over just that
+result set, *online*, so the user can drill into the results hierarchically
+instead of reading a flat ranked list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.organize import Organization
+
+
+class RoninExplorer:
+    """Online hierarchical exploration over a search result set."""
+
+    def __init__(
+        self,
+        vectors: dict[str, np.ndarray],
+        branching: int = 3,
+        max_leaf_size: int = 3,
+    ):
+        self.vectors = vectors
+        self.branching = branching
+        self.max_leaf_size = max_leaf_size
+
+    def organize_results(self, result_tables: list[str]) -> Organization:
+        """Build a navigation hierarchy over the given result tables."""
+        subset = {
+            t: self.vectors[t] for t in result_tables if t in self.vectors
+        }
+        if not subset:
+            raise ValueError("no vectors available for the result set")
+        return Organization.build(
+            subset,
+            branching=self.branching,
+            max_leaf_size=self.max_leaf_size,
+        )
+
+    def drill_down(
+        self, organization: Organization, intent: np.ndarray, steps: int = 1
+    ) -> list[str]:
+        """Follow the best-matching child ``steps`` times; return the tables
+        visible at the reached node (RONIN's interactive operation)."""
+        node = organization.root
+        v = intent / (np.linalg.norm(intent) or 1.0)
+        for _ in range(steps):
+            if node.is_leaf:
+                break
+            node = max(
+                node.children,
+                key=lambda c: (float(np.dot(v, c.centroid)), -c.node_id),
+            )
+        return list(node.tables)

@@ -1,0 +1,151 @@
+"""Auctus-style dataset search (Castelo et al., VLDB'21; survey §2.6).
+
+Auctus serves open-data portals by *profiling* every dataset (temporal
+coverage, numeric ranges, entity columns) and answering faceted queries
+that combine keywords with coverage constraints and an augmentation intent
+("joinable with my table").  The reproduction profiles lake tables and
+supports those query facets over the profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.datalake.types import DataType
+from repro.search.keyword import KeywordSearchEngine
+
+
+@dataclass
+class DatasetProfile:
+    """Per-dataset profile: what Auctus computes at ingestion time."""
+
+    table: str
+    num_rows: int = 0
+    num_cols: int = 0
+    #: (min iso date, max iso date) over all date columns, if any
+    temporal_coverage: tuple[str, str] | None = None
+    #: column name -> (min, max) for numeric columns
+    numeric_ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: names of candidate entity (high-distinct text) columns
+    entity_columns: list[str] = field(default_factory=list)
+
+    def covers_dates(self, start: str, end: str) -> bool:
+        """Does the dataset's temporal coverage intersect [start, end]?"""
+        if self.temporal_coverage is None:
+            return False
+        lo, hi = self.temporal_coverage
+        return lo <= end and start <= hi
+
+
+def profile_table(table: Table) -> DatasetProfile:
+    """Compute the Auctus-style profile of one table."""
+    profile = DatasetProfile(
+        table=table.name, num_rows=table.num_rows, num_cols=table.num_cols
+    )
+    dates: list[str] = []
+    for i, col in enumerate(table.columns):
+        if col.dtype is DataType.DATE:
+            dates.extend(v.strip() for v in col.non_null_values())
+        elif col.is_numeric:
+            nums = col.numeric_values()
+            nums = nums[np.isfinite(nums)]
+            if len(nums):
+                profile.numeric_ranges[col.name] = (
+                    float(nums.min()),
+                    float(nums.max()),
+                )
+        else:
+            n = max(len(col), 1)
+            if col.distinct_count() / n >= 0.6 and col.distinct_count() >= 3:
+                profile.entity_columns.append(col.name)
+    if dates:
+        profile.temporal_coverage = (min(dates), max(dates))
+    return profile
+
+
+@dataclass
+class AuctusHit:
+    table: str
+    score: float
+    profile: DatasetProfile
+
+    def __lt__(self, other: "AuctusHit") -> bool:
+        return (-self.score, self.table) < (-other.score, other.table)
+
+
+class AuctusSearch:
+    """Faceted dataset search over profiles + metadata keywords."""
+
+    def __init__(self, lake: DataLake):
+        self.lake = lake
+        self._profiles: dict[str, DatasetProfile] = {}
+        self._keyword = KeywordSearchEngine()
+        self._built = False
+
+    def build(self) -> "AuctusSearch":
+        for table in self.lake:
+            self._profiles[table.name] = profile_table(table)
+        self._keyword.index_lake(self.lake)
+        self._built = True
+        return self
+
+    def profile(self, table_name: str) -> DatasetProfile:
+        if not self._built:
+            raise RuntimeError("call build() before querying")
+        return self._profiles[table_name]
+
+    def search(
+        self,
+        keywords: str | None = None,
+        date_range: tuple[str, str] | None = None,
+        numeric_column: str | None = None,
+        joinable_with: Table | None = None,
+        join_key: int = 0,
+        min_join_containment: float = 0.3,
+        k: int = 10,
+    ) -> list[AuctusHit]:
+        """Faceted search: all facets are conjunctive filters; keyword score
+        (when given) ranks the survivors, otherwise profile size does."""
+        if not self._built:
+            raise RuntimeError("call build() before querying")
+        scores: dict[str, float] = {}
+        if keywords:
+            for hit in self._keyword.search(keywords, k=len(self._profiles)):
+                scores[hit.table] = hit.score
+            candidates = set(scores)
+        else:
+            candidates = set(self._profiles)
+
+        if joinable_with is not None:
+            q_values = joinable_with.columns[join_key].value_set()
+            joined = set()
+            for name in candidates:
+                if name == joinable_with.name or not q_values:
+                    continue
+                table = self.lake.table(name)
+                best = 0.0
+                for _, col in table.text_columns():
+                    inter = len(q_values & col.value_set())
+                    best = max(best, inter / len(q_values))
+                if best >= min_join_containment:
+                    joined.add(name)
+                    scores[name] = scores.get(name, 0.0) + best
+            candidates = joined
+
+        out = []
+        for name in candidates:
+            profile = self._profiles[name]
+            if date_range is not None and not profile.covers_dates(*date_range):
+                continue
+            if (
+                numeric_column is not None
+                and numeric_column not in profile.numeric_ranges
+            ):
+                continue
+            score = scores.get(name, 0.0) or profile.num_rows / 1000.0
+            out.append(AuctusHit(name, score, profile))
+        return sorted(out)[:k]

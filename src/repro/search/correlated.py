@@ -1,0 +1,108 @@
+"""Correlated dataset search: joinable AND correlated (Santos et al., ICDE'22).
+
+Feature discovery for ML wants tables that join with the query table *and*
+whose numeric column correlates with a numeric query column after the join.
+Executing every join is infeasible; the QCR correlation sketch estimates the
+post-join correlation from keyed samples.  This module indexes one sketch
+per (table, key column, numeric column) pair and ranks candidates by
+estimated |r| among those with sufficient key containment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.sketch.qcr import CorrelationSketch, pearson
+
+
+@dataclass(frozen=True)
+class CorrelatedHit:
+    table: str
+    key_column: int
+    value_column: int
+    correlation: float
+    containment: float
+
+    def __lt__(self, other: "CorrelatedHit") -> bool:
+        return (-abs(self.correlation), self.table) < (
+            -abs(other.correlation),
+            other.table,
+        )
+
+
+def _key_value_pairs(table: Table, key_col: int, num_col: int):
+    keys = table.columns[key_col].values
+    nums = table.columns[num_col].numeric_values()
+    for k, v in zip(keys, nums):
+        if k.strip() and math.isfinite(v):
+            yield k, float(v)
+
+
+class CorrelatedSearch:
+    """Sketch index for joinable-and-correlated column search."""
+
+    def __init__(self, sketch_size: int = 256):
+        self.sketch_size = sketch_size
+        self._sketches: dict[tuple[str, int, int], CorrelationSketch] = {}
+
+    def build(self, lake: DataLake) -> "CorrelatedSearch":
+        """Sketch every (text key column, numeric column) pair per table."""
+        for table in lake:
+            text_cols = [i for i, _ in table.text_columns()]
+            num_cols = [i for i, _ in table.numeric_columns()]
+            for ki in text_cols:
+                for ni in num_cols:
+                    sketch = CorrelationSketch.from_pairs(
+                        _key_value_pairs(table, ki, ni), n=self.sketch_size
+                    )
+                    if len(sketch) >= 4:
+                        self._sketches[(table.name, ki, ni)] = sketch
+        return self
+
+    def search(
+        self,
+        query: Table,
+        key_column: int,
+        value_column: int,
+        k: int = 10,
+        min_containment: float = 0.3,
+    ) -> list[CorrelatedHit]:
+        """Top-k candidate columns by estimated post-join |correlation|."""
+        qsketch = CorrelationSketch.from_pairs(
+            _key_value_pairs(query, key_column, value_column),
+            n=self.sketch_size,
+        )
+        hits = []
+        for (name, ki, ni), sketch in self._sketches.items():
+            if name == query.name:
+                continue
+            containment = qsketch.containment(sketch)
+            if containment < min_containment:
+                continue
+            r = qsketch.correlation(sketch)
+            hits.append(CorrelatedHit(name, ki, ni, r, containment))
+        return sorted(hits)[:k]
+
+
+def exact_join_correlation(
+    query: Table,
+    query_key: int,
+    query_value: int,
+    candidate: Table,
+    cand_key: int,
+    cand_value: int,
+) -> float:
+    """Reference: execute the equi-join and compute the exact Pearson r."""
+    cand_map: dict[str, float] = {}
+    for key, v in _key_value_pairs(candidate, cand_key, cand_value):
+        cand_map.setdefault(key.strip().lower(), v)
+    xs, ys = [], []
+    for key, v in _key_value_pairs(query, query_key, query_value):
+        other = cand_map.get(key.strip().lower())
+        if other is not None:
+            xs.append(v)
+            ys.append(other)
+    return pearson(xs, ys)

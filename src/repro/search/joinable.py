@@ -1,0 +1,162 @@
+"""Joinable table search facade (survey §2.4).
+
+Wires the sketches and JOSIE over a DataLake's text columns and exposes the
+three classic strategies side by side:
+
+* ``exact_topk``        — JOSIE: exact top-k by overlap;
+* ``containment``       — LSH Ensemble: approximate containment threshold;
+* ``jaccard_baseline``  — plain MinHash-LSH on Jaccard, the measure shown to
+  be biased against large columns (the motivation for LSH Ensemble).
+
+Also provides Das Sarma-style schema-complement scoring of the joined pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Column, ColumnRef
+from repro.search.josie import JosieIndex
+from repro.search.results import ColumnResult
+from repro.sketch.lsh import MinHashLSH
+from repro.sketch.lshensemble import LSHEnsemble
+from repro.sketch.minhash import MinHash
+
+
+@dataclass
+class JoinSearchConfig:
+    num_perm: int = 128
+    num_partitions: int = 8
+    lsh_threshold: float = 0.5
+    min_column_size: int = 2
+
+
+class JoinableSearch:
+    """Column-level joinable search over all text columns of a lake."""
+
+    def __init__(self, lake: DataLake, config: JoinSearchConfig | None = None):
+        self.lake = lake
+        self.config = config or JoinSearchConfig()
+        self._josie = JosieIndex()
+        self._minhashes: dict[ColumnRef, MinHash] = {}
+        self._sizes: dict[ColumnRef, int] = {}
+        self._ensemble: LSHEnsemble | None = None
+        self._jaccard_lsh: MinHashLSH | None = None
+        self._built = False
+
+    # -- offline ----------------------------------------------------------------
+
+    def build(self) -> "JoinableSearch":
+        """Index every text column: JOSIE sets, MinHashes, LSH structures."""
+        cfg = self.config
+        entries = []
+        for ref, col in self.lake.iter_text_columns():
+            values = col.value_set()
+            if len(values) < cfg.min_column_size:
+                continue
+            self._josie.insert(ref, values)
+            mh = MinHash.from_values(values, num_perm=cfg.num_perm)
+            self._minhashes[ref] = mh
+            self._sizes[ref] = len(values)
+            entries.append((ref, mh, len(values)))
+        self._ensemble = LSHEnsemble(
+            num_partitions=cfg.num_partitions, num_perm=cfg.num_perm
+        )
+        self._ensemble.index(entries)
+        self._jaccard_lsh = MinHashLSH(
+            threshold=cfg.lsh_threshold, num_perm=cfg.num_perm
+        )
+        for ref, mh, _ in entries:
+            self._jaccard_lsh.insert(ref, mh)
+        self._built = True
+        return self
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise RuntimeError("call build() before querying")
+
+    @staticmethod
+    def _query_values(column: Column) -> set[str]:
+        return set(column.value_set())
+
+    # -- online -------------------------------------------------------------------
+
+    def exact_topk(
+        self, column: Column, k: int = 10, exclude_table: str | None = None
+    ) -> list[ColumnResult]:
+        """JOSIE exact top-k joinable columns by overlap with the query."""
+        self._require_built()
+        values = self._query_values(column)
+        raw = self._josie.topk(values, k + 8)
+        out = [
+            ColumnResult(ref, overlap / max(len(values), 1))
+            for ref, overlap in raw
+            if exclude_table is None or ref.table != exclude_table
+        ]
+        return sorted(out)[:k]
+
+    def containment(
+        self,
+        column: Column,
+        threshold: float = 0.5,
+        exclude_table: str | None = None,
+    ) -> list[ColumnResult]:
+        """LSH Ensemble candidates verified to containment >= threshold.
+
+        The ensemble is the filter; verification is *exact* against the
+        stored value sets (the standard filter-verify architecture), so
+        precision is 1.0 and recall is bounded only by the filter.
+        """
+        self._require_built()
+        values = self._query_values(column)
+        mh = MinHash.from_values(values, num_perm=self.config.num_perm)
+        out = []
+        for ref in self._ensemble.query(mh, len(values), threshold):
+            if exclude_table is not None and ref.table == exclude_table:
+                continue
+            containment = len(values & self._josie.set_of(ref)) / max(
+                len(values), 1
+            )
+            if containment >= threshold:
+                out.append(ColumnResult(ref, containment))
+        return sorted(out)
+
+    def containment_candidates(
+        self, column: Column, threshold: float = 0.5
+    ) -> list[ColumnRef]:
+        """Unverified LSH Ensemble candidate set (recall measurement)."""
+        self._require_built()
+        values = self._query_values(column)
+        mh = MinHash.from_values(values, num_perm=self.config.num_perm)
+        return list(self._ensemble.query(mh, len(values), threshold))
+
+    def jaccard_baseline(
+        self, column: Column, exclude_table: str | None = None
+    ) -> list[ColumnResult]:
+        """Plain Jaccard-threshold LSH (the biased baseline of E2)."""
+        self._require_built()
+        values = self._query_values(column)
+        mh = MinHash.from_values(values, num_perm=self.config.num_perm)
+        hits = self._jaccard_lsh.query_verified(mh)
+        return [
+            ColumnResult(ref, score)
+            for ref, score in hits
+            if exclude_table is None or ref.table != exclude_table
+        ]
+
+    # -- schema complement ------------------------------------------------------------
+
+    def schema_complement_score(
+        self, query_table_name: str, candidate: ColumnRef
+    ) -> float:
+        """Das Sarma-style benefit of joining: how many *new* attributes the
+        candidate table adds, weighted by join-key coverage."""
+        self._require_built()
+        query_table = self.lake.table(query_table_name)
+        cand_table = self.lake.table(candidate.table)
+        query_headers = {h.lower() for h in query_table.header}
+        new_attrs = sum(
+            1 for h in cand_table.header if h.lower() not in query_headers
+        )
+        return new_attrs / max(cand_table.num_cols, 1)

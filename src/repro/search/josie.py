@@ -1,0 +1,125 @@
+"""JOSIE: exact top-k overlap set similarity search (Zhu et al., SIGMOD'19).
+
+Given a query set of values, return the k indexed columns with the largest
+exact overlap |Q ∩ X|.  The algorithm processes the query tokens'
+posting lists in ascending document-frequency order (rare first) and
+interleaves *candidate verification* (reading a candidate's full value set)
+with *list probing*, terminating early once no unverified candidate's upper
+bound — current partial count plus remaining unprocessed tokens — can beat
+the k-th best verified overlap.  Results are exact; early termination only
+skips work that provably cannot change the answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable
+
+from repro.core.errors import IndexError_
+from repro.sketch.inverted import InvertedIndex
+
+
+class JosieIndex:
+    """Inverted index + stored sets supporting exact top-k overlap search."""
+
+    def __init__(self):
+        self._inv = InvertedIndex()
+        self._sets: dict[Hashable, frozenset[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def insert(self, key: Hashable, values: Iterable[str]) -> None:
+        if key in self._sets:
+            raise IndexError_(f"duplicate key {key!r}")
+        vset = frozenset(str(v) for v in values)
+        self._sets[key] = vset
+        self._inv.insert(key, vset)
+
+    def set_of(self, key: Hashable) -> frozenset[str]:
+        return self._sets[key]
+
+    # -- baseline -------------------------------------------------------------------
+
+    def full_merge_topk(
+        self, query: Iterable[str], k: int = 10
+    ) -> list[tuple[Hashable, int]]:
+        """Exact top-k by merging *all* posting lists (the MergeList baseline
+        JOSIE compares against)."""
+        counts = self._inv.overlaps(set(query))
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return ranked[:k]
+
+    # -- JOSIE ------------------------------------------------------------------------
+
+    def topk(
+        self, query: Iterable[str], k: int = 10
+    ) -> list[tuple[Hashable, int]]:
+        """Exact top-k overlap search with early termination.
+
+        Returns [(key, overlap)] sorted by overlap desc; ties by key.
+        """
+        stats = self.topk_with_stats(query, k)
+        return stats[0]
+
+    def topk_with_stats(
+        self, query: Iterable[str], k: int = 10
+    ) -> tuple[list[tuple[Hashable, int]], dict]:
+        """As ``topk`` but also reports probe/verification work counters."""
+        qset = set(str(v) for v in query)
+        # Rare tokens first: smallest posting lists shrink candidates fastest.
+        tokens = sorted(
+            (t for t in qset if self._inv.document_frequency(t) > 0),
+            key=lambda t: (self._inv.document_frequency(t), t),
+        )
+        total = len(tokens)
+        partial: dict[Hashable, int] = {}
+        posting_entries_read = 0
+        remaining = total
+
+        # Phase 1 — probe posting lists until no *unseen* candidate can still
+        # reach the top-k: the kth largest partial count (a lower bound on
+        # exact overlap) must beat `remaining` (an upper bound for unseen).
+        for i, token in enumerate(tokens):
+            remaining = total - i - 1
+            postings = self._inv.postings(token)
+            posting_entries_read += len(postings)
+            for key in postings:
+                partial[key] = partial.get(key, 0) + 1
+            if len(partial) >= k:
+                kth_lower = heapq.nlargest(k, partial.values())[-1]
+                # Strict: an unseen candidate reaching exactly `remaining`
+                # could otherwise tie with the kth result and win the
+                # deterministic key tie-break.
+                if kth_lower > remaining:
+                    break
+
+        # Phase 2 — verify candidates in upper-bound order; stop when the
+        # next upper bound cannot beat the kth best verified exact overlap.
+        order = sorted(
+            partial.items(), key=lambda kv: (-(kv[1] + remaining), str(kv[0]))
+        )
+        verified: dict[Hashable, int] = {}
+        best: list[tuple[int, str]] = []  # min-heap of top-k exact overlaps
+        sets_verified = 0
+        for key, cnt in order:
+            upper = cnt + remaining
+            if len(best) >= k and upper < best[0][0]:
+                break  # no later candidate can beat or tie the kth verified
+            overlap = len(qset & self._sets[key])
+            verified[key] = overlap
+            sets_verified += 1
+            heapq.heappush(best, (overlap, str(key)))
+            if len(best) > k:
+                heapq.heappop(best)
+
+        ranked = sorted(
+            verified.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )[:k]
+        ranked = [(key, ov) for key, ov in ranked if ov > 0]
+        stats = {
+            "posting_entries_read": posting_entries_read,
+            "sets_verified": sets_verified,
+            "query_tokens": total,
+        }
+        return ranked, stats

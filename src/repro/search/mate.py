@@ -1,0 +1,140 @@
+"""MATE: multi-attribute joinable table search (Esmailoghli et al., VLDB'22).
+
+Single-attribute overlap search cannot find tables joinable on *composite*
+keys: candidates may share many values of each individual column without
+containing the combinations.  MATE hashes each row into a fixed-width
+*super key* — a bitmap OR of the hashes of the row's cell values — so a
+candidate row can be cheaply tested for "may contain all query key cells"
+before exact verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.sketch.hashing import stable_hash64
+
+
+def _cell_mask(value: str, bits: int) -> int:
+    """Bitmap with ``k`` bits set derived from the cell's hash (k = 2)."""
+    h = stable_hash64(str(value).strip().lower(), seed=29)
+    b1 = h % bits
+    b2 = (h >> 32) % bits
+    return (1 << b1) | (1 << b2)
+
+
+def row_super_key(cells: list[str], bits: int = 64) -> int:
+    """OR-aggregate the cell masks of a row into its super key."""
+    key = 0
+    for cell in cells:
+        if str(cell).strip():
+            key |= _cell_mask(cell, bits)
+    return key
+
+
+@dataclass(frozen=True)
+class MateHit:
+    table: str
+    matched: int
+    total: int
+
+    @property
+    def score(self) -> float:
+        return self.matched / self.total if self.total else 0.0
+
+    def __lt__(self, other: "MateHit") -> bool:
+        return (-self.score, self.table) < (-other.score, other.table)
+
+
+class MateIndex:
+    """Super-key index over every table's rows (text cells only)."""
+
+    def __init__(self, bits: int = 64):
+        self.bits = bits
+        #: table -> list of (super key, normalized text cells of the row)
+        self._rows: dict[str, list[tuple[int, frozenset[str]]]] = {}
+
+    def index_lake(self, lake: DataLake) -> None:
+        for table in lake:
+            self.index_table(table)
+
+    def index_table(self, table: Table) -> None:
+        text_cols = [c for _, c in table.text_columns()]
+        rows = []
+        for i in range(table.num_rows):
+            cells = [c.values[i].strip().lower() for c in text_cols]
+            cells = [c for c in cells if c]
+            rows.append((row_super_key(cells, self.bits), frozenset(cells)))
+        self._rows[table.name] = rows
+
+    def search(
+        self,
+        query: Table,
+        key_columns: list[int],
+        k: int = 10,
+        exclude: str | None = None,
+    ) -> list[MateHit]:
+        """Top-k tables by fraction of query composite keys matched.
+
+        A query key (tuple of cells) matches a candidate row if the row's
+        super key covers all cell masks (filter) and the row actually
+        contains every cell (verification).
+        """
+        qkeys = []
+        for i in range(query.num_rows):
+            cells = tuple(
+                query.columns[c].values[i].strip().lower() for c in key_columns
+            )
+            if all(cells):
+                mask = 0
+                for cell in cells:
+                    mask |= _cell_mask(cell, self.bits)
+                qkeys.append((cells, mask))
+        if not qkeys:
+            return []
+        distinct = {}
+        for cells, mask in qkeys:
+            distinct[cells] = mask
+        hits = []
+        for name, rows in self._rows.items():
+            if name == (exclude or query.name):
+                continue
+            matched = 0
+            for cells, mask in distinct.items():
+                found = False
+                for super_key, row_cells in rows:
+                    if (super_key & mask) != mask:
+                        continue  # filter: row cannot contain all cells
+                    if all(c in row_cells for c in cells):
+                        found = True
+                        break
+                if found:
+                    matched += 1
+            if matched:
+                hits.append(MateHit(name, matched, len(distinct)))
+        return sorted(hits)[:k]
+
+    def filter_stats(self, query: Table, key_columns: list[int]) -> dict:
+        """How many rows the super-key filter prunes before verification."""
+        qkeys = set()
+        for i in range(query.num_rows):
+            cells = tuple(
+                query.columns[c].values[i].strip().lower() for c in key_columns
+            )
+            if all(cells):
+                qkeys.add(cells)
+        checked = passed = 0
+        for cells in qkeys:
+            mask = 0
+            for cell in cells:
+                mask |= _cell_mask(cell, self.bits)
+            for name, rows in self._rows.items():
+                if name == query.name:
+                    continue
+                for super_key, _ in rows:
+                    checked += 1
+                    if (super_key & mask) == mask:
+                        passed += 1
+        return {"rows_checked": checked, "rows_passed_filter": passed}

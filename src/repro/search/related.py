@@ -1,0 +1,149 @@
+"""Finding related tables (Das Sarma et al., SIGMOD'12) — the seminal
+formulation the survey's §2.1 starts from.
+
+Two relatedness flavours, both anchored on a *subject attribute* (the
+entity column that explains the table):
+
+* **entity complement (EC)** — a candidate extends the query with new
+  *entities*: same subject domain, consistent schema, mostly-new subject
+  values (a precursor of unionable search);
+* **schema complement (SC)** — a candidate extends the query's entities
+  with new *attributes*: high subject overlap and attributes the query
+  lacks (a precursor of joinable search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table, tokenize
+
+
+def detect_subject_column(table: Table) -> int | None:
+    """Heuristic subject-attribute detection: the leftmost text column with
+    the highest distinct ratio (entities are near-unique identifiers)."""
+    best, best_score = None, -1.0
+    for i, col in table.text_columns():
+        n = max(len(col), 1)
+        score = col.distinct_count() / n - 0.05 * i  # prefer left columns
+        if score > best_score:
+            best, best_score = i, score
+    return best
+
+
+def _schema_similarity(a: Table, b: Table) -> float:
+    """Token-level Jaccard between the two tables' header vocabularies."""
+    ta = {t for h in a.header for t in tokenize(h)}
+    tb = {t for h in b.header for t in tokenize(h)}
+    if not ta or not tb:
+        return 0.0
+    return len(ta & tb) / len(ta | tb)
+
+
+@dataclass(frozen=True)
+class RelatedTable:
+    table: str
+    score: float
+    kind: str  # "entity-complement" | "schema-complement"
+
+    def __lt__(self, other: "RelatedTable") -> bool:
+        return (-self.score, self.table) < (-other.score, other.table)
+
+
+class RelatedTableSearch:
+    """Entity-complement and schema-complement related-table search."""
+
+    def __init__(self, lake: DataLake):
+        self.lake = lake
+        #: table -> (subject column index, subject value set)
+        self._subjects: dict[str, tuple[int, frozenset[str]]] = {}
+        self._built = False
+
+    def build(self) -> "RelatedTableSearch":
+        for table in self.lake:
+            subject = detect_subject_column(table)
+            if subject is not None:
+                values = table.columns[subject].value_set()
+                if values:
+                    self._subjects[table.name] = (subject, values)
+        self._built = True
+        return self
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise RuntimeError("call build() before searching")
+
+    def subject_of(self, table_name: str) -> int | None:
+        self._require_built()
+        entry = self._subjects.get(table_name)
+        return entry[0] if entry else None
+
+    # -- scoring --------------------------------------------------------------------
+
+    def entity_complement_score(self, query: Table, candidate: str) -> float:
+        """High when the candidate adds new entities of the *same kind*:
+        schema consistency x fraction-of-new-subjects x domain affinity."""
+        entry = self._subjects.get(candidate)
+        q_subject = detect_subject_column(query)
+        if entry is None or q_subject is None:
+            return 0.0
+        _, cand_values = entry
+        q_values = query.columns[q_subject].value_set()
+        if not q_values or not cand_values:
+            return 0.0
+        overlap = len(q_values & cand_values)
+        # Domain affinity: some overlap signals the same entity domain, but
+        # the value of the candidate is its NEW entities.
+        affinity = overlap / min(len(q_values), len(cand_values))
+        new_fraction = 1.0 - overlap / len(cand_values)
+        schema = _schema_similarity(query, self.lake.table(candidate))
+        if affinity == 0.0:
+            return 0.0
+        return affinity * new_fraction * (0.5 + 0.5 * schema)
+
+    def schema_complement_score(self, query: Table, candidate: str) -> float:
+        """High when the candidate covers the query's entities and brings
+        attributes the query lacks: subject containment x new-attribute gain."""
+        entry = self._subjects.get(candidate)
+        q_subject = detect_subject_column(query)
+        if entry is None or q_subject is None:
+            return 0.0
+        _, cand_values = entry
+        q_values = query.columns[q_subject].value_set()
+        if not q_values:
+            return 0.0
+        containment = len(q_values & cand_values) / len(q_values)
+        cand_table = self.lake.table(candidate)
+        q_headers = {t for h in query.header for t in tokenize(h)}
+        new_attrs = sum(
+            1
+            for h in cand_table.header
+            if not (set(tokenize(h)) & q_headers)
+        )
+        attr_gain = new_attrs / max(cand_table.num_cols, 1)
+        return containment * attr_gain
+
+    # -- search -----------------------------------------------------------------------
+
+    def related(
+        self, query: Table | str, k: int = 10, kind: str = "entity-complement"
+    ) -> list[RelatedTable]:
+        """Top-k related tables of the requested kind."""
+        self._require_built()
+        if isinstance(query, str):
+            query = self.lake.table(query)
+        if kind == "entity-complement":
+            scorer = self.entity_complement_score
+        elif kind == "schema-complement":
+            scorer = self.schema_complement_score
+        else:
+            raise ValueError(f"unknown relatedness kind {kind!r}")
+        out = []
+        for name in self._subjects:
+            if name == query.name:
+                continue
+            score = scorer(query, name)
+            if score > 0:
+                out.append(RelatedTable(name, score, kind))
+        return sorted(out)[:k]

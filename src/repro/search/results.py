@@ -1,0 +1,36 @@
+"""Result types shared by every search engine in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalake.table import ColumnRef
+
+
+@dataclass(frozen=True)
+class ColumnResult:
+    """A ranked column-level hit."""
+
+    ref: ColumnRef
+    score: float
+
+    def __lt__(self, other: "ColumnResult") -> bool:
+        return (-self.score, str(self.ref)) < (-other.score, str(other.ref))
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A ranked table-level hit with optional per-column alignment detail."""
+
+    table: str
+    score: float
+    #: query column index -> (candidate column index, column score)
+    alignment: tuple[tuple[int, int, float], ...] = field(default_factory=tuple)
+
+    def __lt__(self, other: "TableResult") -> bool:
+        return (-self.score, self.table) < (-other.score, other.table)
+
+
+def top_k(results: list, k: int) -> list:
+    """Deterministically sorted top-k (score desc, then name asc)."""
+    return sorted(results)[:k]

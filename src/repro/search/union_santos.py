@@ -1,0 +1,169 @@
+"""SANTOS: relationship-based semantic table union search (Khatiwada et al.,
+SIGMOD'23).
+
+Column-only unionability produces false positives: two tables can share
+column domains yet pair them through *different relationships* (city-where-
+born vs. city-where-died).  SANTOS matches the binary relationships between
+column pairs, using an existing KB for covered regions and a KB synthesized
+from the lake for uncovered ones.  A query's *intent* is its set of
+(class, relationship, class) triples; candidates are ranked by how much of
+that intent they support — at the instance level, so confounders that break
+the fact pairing score low even when their class pairing matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalake.lake import DataLake
+from repro.datalake.ontology import Ontology
+from repro.datalake.table import Table
+from repro.search.results import TableResult
+from repro.understanding.annotate import synthesize_kb
+
+
+@dataclass
+class SantosConfig:
+    min_class_support: float = 0.5
+    max_rows: int = 200
+    synth_min_pair_count: int = 3
+    #: weight of relationship intent vs. plain column-class overlap
+    relationship_weight: float = 0.8
+
+
+@dataclass(frozen=True)
+class _TableSemantics:
+    """Class annotations + instance-supported relationship strengths."""
+
+    classes: frozenset[str]
+    #: (class_a, class_b) -> fraction of rows whose value pair is a KB fact
+    relationship_support: tuple[tuple[tuple[str, str], float], ...]
+
+
+class SantosUnionSearch:
+    """Relationship-aware unionable table search."""
+
+    def __init__(
+        self,
+        lake: DataLake,
+        ontology: Ontology,
+        config: SantosConfig | None = None,
+        use_synthesized_kb: bool = True,
+    ):
+        self.lake = lake
+        self.ontology = ontology
+        self.config = config or SantosConfig()
+        self.use_synthesized_kb = use_synthesized_kb
+        self._synth: Ontology | None = None
+        self._semantics: dict[str, _TableSemantics] = {}
+        self._built = False
+
+    # -- offline -------------------------------------------------------------------
+
+    def build(self) -> "SantosUnionSearch":
+        if self.use_synthesized_kb:
+            self._synth = synthesize_kb(
+                list(self.lake), self.config.synth_min_pair_count
+            )
+        for table in self.lake:
+            self._semantics[table.name] = self._table_semantics(table)
+        self._built = True
+        return self
+
+    def _column_class(self, values: list[str]) -> str | None:
+        return self.ontology.annotate_column(
+            values, self.config.min_class_support
+        )
+
+    def _fact_supported(self, a: str, b: str) -> bool:
+        """Is (a, b) an instance-level fact in the KB or synthesized KB?"""
+        if self.ontology.relation_between_values(a, b) is not None:
+            # Instance-level check: require an actual fact, not the
+            # class-level fallback, for relationship support.
+            if self.ontology._facts.get((a.lower(), b.lower())) is not None:
+                return True
+            if self.ontology._facts.get((b.lower(), a.lower())) is not None:
+                return True
+        if self._synth is not None:
+            if self._synth.relation_between_values(a, b) is not None:
+                return True
+        return False
+
+    def _table_semantics(self, table: Table) -> _TableSemantics:
+        cfg = self.config
+        text_cols = table.text_columns()
+        classes = {}
+        for i, col in text_cols:
+            cls = self._column_class(col.non_null_values())
+            if cls is not None:
+                classes[i] = cls
+        support: dict[tuple[str, str], float] = {}
+        n_rows = min(table.num_rows, cfg.max_rows)
+        ids = list(classes)
+        for x in range(len(ids)):
+            for y in range(x + 1, len(ids)):
+                i, j = ids[x], ids[y]
+                ci = table.columns[i].values
+                cj = table.columns[j].values
+                hits = checked = 0
+                for r in range(n_rows):
+                    a, b = ci[r].strip().lower(), cj[r].strip().lower()
+                    if not a or not b:
+                        continue
+                    checked += 1
+                    if self._fact_supported(a, b):
+                        hits += 1
+                if checked:
+                    pair = tuple(sorted((classes[i], classes[j])))
+                    support[pair] = max(support.get(pair, 0.0), hits / checked)
+        return _TableSemantics(
+            classes=frozenset(classes.values()),
+            relationship_support=tuple(sorted(support.items())),
+        )
+
+    # -- online ----------------------------------------------------------------------
+
+    def score(self, query_sem: _TableSemantics, cand_sem: _TableSemantics) -> float:
+        """Intent-match score: relationship support overlap + class overlap."""
+        w = self.config.relationship_weight
+        q_rel = dict(query_sem.relationship_support)
+        c_rel = dict(cand_sem.relationship_support)
+        rel_score = 0.0
+        if q_rel:
+            matched = 0.0
+            for pair, q_sup in q_rel.items():
+                if q_sup < 0.3:
+                    continue  # weak intent edges don't define the query
+                matched += min(q_sup, c_rel.get(pair, 0.0))
+            denom = sum(s for s in q_rel.values() if s >= 0.3) or 1.0
+            rel_score = matched / denom
+        cls_score = 0.0
+        if query_sem.classes:
+            cls_score = len(query_sem.classes & cand_sem.classes) / len(
+                query_sem.classes
+            )
+        return w * rel_score + (1 - w) * cls_score
+
+    def search(self, query: Table, k: int = 10) -> list[TableResult]:
+        """Top-k tables by relationship-intent match."""
+        if not self._built:
+            raise RuntimeError("call build() before searching")
+        query_sem = self._semantics.get(query.name) or self._table_semantics(query)
+        results = []
+        for name, cand_sem in self._semantics.items():
+            if name == query.name:
+                continue
+            s = self.score(query_sem, cand_sem)
+            if s > 0:
+                results.append(TableResult(name, s))
+        return sorted(results)[:k]
+
+
+class ColumnOnlySantosBaseline(SantosUnionSearch):
+    """Ablation for E5: identical pipeline with relationship weight 0 —
+    i.e. class-overlap-only matching (what SANTOS improves upon)."""
+
+    def __init__(self, lake: DataLake, ontology: Ontology, **kwargs):
+        config = kwargs.pop("config", None) or SantosConfig()
+        config.relationship_weight = 0.0
+        super().__init__(lake, ontology, config=config, **kwargs)

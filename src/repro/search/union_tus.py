@@ -1,0 +1,194 @@
+"""Table Union Search (Nargesian et al., VLDB'18).
+
+Defines *attribute unionability* — the likelihood two columns draw from the
+same domain — under three signals, then aggregates column scores to table
+scores with bipartite matching:
+
+* set unionability  — value overlap (Jaccard);
+* sem unionability  — overlap of ontology class annotations;
+* nl unionability   — cosine of distributional embeddings;
+* ensemble          — the max of the available signals (the paper picks the
+  measure with the highest goodness per attribute pair).
+
+An LSH index over column MinHashes prefilters candidate tables so search
+does not score the whole lake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datalake.lake import DataLake
+from repro.datalake.ontology import Ontology
+from repro.datalake.table import Column, ColumnRef, Table
+from repro.search.aggregate import table_unionability
+from repro.search.results import TableResult
+from repro.sketch.lsh import MinHashLSH
+from repro.sketch.minhash import MinHash
+from repro.understanding.embedding import EmbeddingSpace
+
+MEASURES = ("set", "sem", "nl", "ensemble")
+
+
+@dataclass
+class TusConfig:
+    measure: str = "ensemble"
+    num_perm: int = 128
+    prefilter_threshold: float = 0.05
+    alignment: str = "hungarian"
+    min_column_size: int = 2
+
+
+class TableUnionSearch:
+    """Attribute-unionability-based unionable table search."""
+
+    def __init__(
+        self,
+        lake: DataLake,
+        ontology: Ontology | None = None,
+        space: EmbeddingSpace | None = None,
+        config: TusConfig | None = None,
+    ):
+        self.lake = lake
+        self.ontology = ontology
+        self.space = space
+        self.config = config or TusConfig()
+        if self.config.measure not in MEASURES:
+            raise ValueError(f"unknown measure {self.config.measure!r}")
+        self._minhashes: dict[ColumnRef, MinHash] = {}
+        self._class_vectors: dict[ColumnRef, dict[str, float]] = {}
+        self._embeddings: dict[ColumnRef, np.ndarray] = {}
+        self._lsh: MinHashLSH | None = None
+        self._built = False
+
+    # -- offline ------------------------------------------------------------------
+
+    def build(self) -> "TableUnionSearch":
+        cfg = self.config
+        self._lsh = MinHashLSH(threshold=cfg.prefilter_threshold,
+                               num_perm=cfg.num_perm)
+        for ref, col in self.lake.iter_text_columns():
+            values = col.value_set()
+            if len(values) < cfg.min_column_size:
+                continue
+            mh = MinHash.from_values(values, num_perm=cfg.num_perm)
+            self._minhashes[ref] = mh
+            self._lsh.insert(ref, mh)
+            if self.ontology is not None:
+                self._class_vectors[ref] = self._class_vector(values)
+            if self.space is not None:
+                self._embeddings[ref] = self.space.embed_set(values)
+        self._built = True
+        return self
+
+    def _class_vector(self, values) -> dict[str, float]:
+        """Normalized distribution of ontology classes over the values."""
+        counts: dict[str, float] = {}
+        for v in values:
+            for cls in self.ontology.classes_of(v, with_ancestors=False):
+                counts[cls] = counts.get(cls, 0.0) + 1.0
+        total = sum(counts.values())
+        return {c: n / total for c, n in counts.items()} if total else {}
+
+    # -- attribute unionability -----------------------------------------------------
+
+    def set_unionability(self, a: Column, b_ref: ColumnRef) -> float:
+        mh_b = self._minhashes.get(b_ref)
+        if mh_b is None:
+            return 0.0
+        mh_a = MinHash.from_values(a.value_set(), num_perm=self.config.num_perm)
+        return mh_a.jaccard(mh_b)
+
+    def sem_unionability(self, a: Column, b_ref: ColumnRef) -> float:
+        if self.ontology is None:
+            return 0.0
+        va = self._class_vector(a.value_set())
+        vb = self._class_vectors.get(b_ref, {})
+        if not va or not vb:
+            return 0.0
+        dot = sum(va.get(c, 0.0) * vb.get(c, 0.0) for c in set(va) | set(vb))
+        na = sum(x * x for x in va.values()) ** 0.5
+        nb = sum(x * x for x in vb.values()) ** 0.5
+        return dot / (na * nb) if na and nb else 0.0
+
+    def nl_unionability(self, a: Column, b_ref: ColumnRef) -> float:
+        if self.space is None:
+            return 0.0
+        vb = self._embeddings.get(b_ref)
+        if vb is None:
+            return 0.0
+        va = self.space.embed_set(a.value_set())
+        return max(0.0, float(np.dot(va, vb)))
+
+    def attribute_unionability(
+        self, a: Column, b_ref: ColumnRef, measure: str | None = None
+    ) -> float:
+        measure = measure or self.config.measure
+        if measure == "set":
+            return self.set_unionability(a, b_ref)
+        if measure == "sem":
+            return self.sem_unionability(a, b_ref)
+        if measure == "nl":
+            return self.nl_unionability(a, b_ref)
+        return max(
+            self.set_unionability(a, b_ref),
+            self.sem_unionability(a, b_ref),
+            self.nl_unionability(a, b_ref),
+        )
+
+    # -- online ---------------------------------------------------------------------
+
+    def _candidate_tables(self, query: Table) -> set[str]:
+        """LSH prefilter: tables sharing at least one colliding column."""
+        tables: set[str] = set()
+        for col in query.columns:
+            if col.is_numeric:
+                continue
+            mh = MinHash.from_values(col.value_set(), num_perm=self.config.num_perm)
+            for ref in self._lsh.query(mh):
+                tables.add(ref.table)
+        tables.discard(query.name)
+        return tables
+
+    def search(
+        self,
+        query: Table,
+        k: int = 10,
+        measure: str | None = None,
+        prefilter: bool = True,
+    ) -> list[TableResult]:
+        """Top-k unionable tables under the chosen measure."""
+        if not self._built:
+            raise RuntimeError("call build() before searching")
+        measure = measure or self.config.measure
+        names = (
+            self._candidate_tables(query)
+            if prefilter
+            else set(self.lake.table_names()) - {query.name}
+        )
+        qcols = [c for c in query.columns if not c.is_numeric]
+        results = []
+        for name in sorted(names):
+            cand = self.lake.table(name)
+            cand_refs = [
+                ColumnRef(name, i)
+                for i, c in enumerate(cand.columns)
+                if not c.is_numeric and ColumnRef(name, i) in self._minhashes
+            ]
+            if not cand_refs or not qcols:
+                continue
+            scores = np.zeros((len(qcols), len(cand_refs)))
+            for i, qc in enumerate(qcols):
+                for j, ref in enumerate(cand_refs):
+                    scores[i, j] = self.attribute_unionability(qc, ref, measure)
+            total, pairs = table_unionability(
+                scores, method=self.config.alignment
+            )
+            if total > 0:
+                alignment = tuple(
+                    (i, cand_refs[j].index, s) for i, j, s in pairs
+                )
+                results.append(TableResult(name, total, alignment))
+        return sorted(results)[:k]

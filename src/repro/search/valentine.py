@@ -1,0 +1,186 @@
+"""Valentine-style schema matching evaluation (Koutras et al., ICDE'21).
+
+The survey (§2.1) cites Valentine as the framework that systematized
+dataset-discovery *matching*: given two tables, produce ranked column
+correspondences, and evaluate matchers against ground truth.  This module
+implements the framework — a matcher interface, four matchers spanning
+Valentine's schema-based/instance-based axes, and its evaluation metrics
+(precision/recall at sizes, recall@ground-truth).
+
+Matchers:
+* ``HeaderMatcher``        — schema-based: header token Jaccard;
+* ``ValueOverlapMatcher``  — instance-based: value-set Jaccard;
+* ``DistributionMatcher``  — instance-based: numeric distribution similarity;
+* ``EmbeddingMatcher``     — instance-based: embedding cosine;
+* ``CompositeMatcher``     — weighted combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datalake.table import Column, Table, tokenize
+from repro.understanding.embedding import EmbeddingSpace
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """One ranked column correspondence between two tables."""
+
+    source: int  # column index in the source table
+    target: int  # column index in the target table
+    score: float
+
+    def __lt__(self, other: "Correspondence") -> bool:
+        return (-self.score, self.source, self.target) < (
+            -other.score,
+            other.source,
+            other.target,
+        )
+
+
+class Matcher:
+    """Interface: score one column pair in [0, 1]."""
+
+    name = "matcher"
+
+    def score(self, a: Column, b: Column) -> float:
+        raise NotImplementedError
+
+    def match(self, source: Table, target: Table) -> list[Correspondence]:
+        """All positive-scoring pairs, ranked by score."""
+        out = []
+        for i, a in enumerate(source.columns):
+            for j, b in enumerate(target.columns):
+                s = self.score(a, b)
+                if s > 0:
+                    out.append(Correspondence(i, j, s))
+        return sorted(out)
+
+
+class HeaderMatcher(Matcher):
+    """Schema-based: Jaccard over header tokens."""
+
+    name = "header"
+
+    def score(self, a: Column, b: Column) -> float:
+        ta, tb = set(tokenize(a.name)), set(tokenize(b.name))
+        if not ta or not tb:
+            return 0.0
+        return len(ta & tb) / len(ta | tb)
+
+
+class ValueOverlapMatcher(Matcher):
+    """Instance-based: Jaccard over distinct values (text columns)."""
+
+    name = "value-overlap"
+
+    def score(self, a: Column, b: Column) -> float:
+        va, vb = a.value_set(), b.value_set()
+        if not va or not vb:
+            return 0.0
+        return len(va & vb) / len(va | vb)
+
+
+class DistributionMatcher(Matcher):
+    """Instance-based: similarity of numeric distributions (mean/std/range
+    overlap); 0 for non-numeric pairs."""
+
+    name = "distribution"
+
+    def score(self, a: Column, b: Column) -> float:
+        if not (a.is_numeric and b.is_numeric):
+            return 0.0
+        xa = a.numeric_values()
+        xb = b.numeric_values()
+        xa = xa[np.isfinite(xa)]
+        xb = xb[np.isfinite(xb)]
+        if len(xa) < 2 or len(xb) < 2:
+            return 0.0
+        lo = max(float(xa.min()), float(xb.min()))
+        hi = min(float(xa.max()), float(xb.max()))
+        span = max(float(xa.max()), float(xb.max())) - min(
+            float(xa.min()), float(xb.min())
+        )
+        range_overlap = max(0.0, hi - lo) / span if span > 0 else 1.0
+        scale = max(float(np.std(xa)), float(np.std(xb)), 1e-9)
+        mean_sim = 1.0 / (1.0 + abs(float(np.mean(xa) - np.mean(xb))) / scale)
+        return 0.5 * range_overlap + 0.5 * mean_sim
+
+
+class EmbeddingMatcher(Matcher):
+    """Instance-based: cosine of mean value embeddings (text columns)."""
+
+    name = "embedding"
+
+    def __init__(self, space: EmbeddingSpace):
+        self.space = space
+
+    def score(self, a: Column, b: Column) -> float:
+        if a.is_numeric or b.is_numeric:
+            return 0.0
+        va = self.space.embed_set(a.value_set())
+        vb = self.space.embed_set(b.value_set())
+        return max(0.0, float(np.dot(va, vb)))
+
+
+class CompositeMatcher(Matcher):
+    """Weighted max-combination of component matchers."""
+
+    name = "composite"
+
+    def __init__(self, matchers: list[tuple[Matcher, float]]):
+        if not matchers:
+            raise ValueError("composite matcher needs at least one component")
+        self.matchers = matchers
+
+    def score(self, a: Column, b: Column) -> float:
+        return max(w * m.score(a, b) for m, w in self.matchers)
+
+
+# -- evaluation (Valentine's metrics) -----------------------------------------
+
+
+def precision_at_size(
+    ranked: list[Correspondence],
+    truth: set[tuple[int, int]],
+    size: int,
+) -> float:
+    """Fraction of the top-``size`` correspondences that are true matches."""
+    if size <= 0:
+        return 0.0
+    top = ranked[:size]
+    if not top:
+        return 0.0
+    hits = sum(1 for c in top if (c.source, c.target) in truth)
+    return hits / len(top)
+
+
+def recall_at_ground_truth(
+    ranked: list[Correspondence], truth: set[tuple[int, int]]
+) -> float:
+    """Valentine's headline metric: recall within the top-|truth| ranks."""
+    if not truth:
+        return 1.0
+    top = ranked[: len(truth)]
+    hits = sum(1 for c in top if (c.source, c.target) in truth)
+    return hits / len(truth)
+
+
+def evaluate_matcher(
+    matcher: Matcher,
+    pairs: list[tuple[Table, Table, set[tuple[int, int]]]],
+) -> dict[str, float]:
+    """Mean precision@|truth| and recall@ground-truth over table pairs."""
+    precisions, recalls = [], []
+    for source, target, truth in pairs:
+        ranked = matcher.match(source, target)
+        precisions.append(precision_at_size(ranked, truth, len(truth)))
+        recalls.append(recall_at_ground_truth(ranked, truth))
+    n = max(len(pairs), 1)
+    return {
+        "precision": sum(precisions) / n,
+        "recall_at_gt": sum(recalls) / n,
+    }

@@ -1,0 +1,34 @@
+"""Indexing substrate: sketches and indices surveyed in §2.4-2.5/§3."""
+
+from repro.sketch.hashing import UniversalHashFamily, hash_tokens, stable_hash64
+from repro.sketch.hnsw import HNSW, brute_force_knn
+from repro.sketch.inverted import InvertedIndex
+from repro.sketch.kmv import KMV
+from repro.sketch.lsh import MinHashLSH, collision_probability, optimal_bands
+from repro.sketch.lshensemble import LSHEnsemble, containment_to_jaccard
+from repro.sketch.minhash import MinHash, exact_containment, exact_jaccard
+from repro.sketch.qcr import CorrelationSketch, pearson
+from repro.sketch.simhash import hamming_distance, simhash, simhash_similarity
+
+__all__ = [
+    "HNSW",
+    "KMV",
+    "CorrelationSketch",
+    "InvertedIndex",
+    "LSHEnsemble",
+    "MinHash",
+    "MinHashLSH",
+    "UniversalHashFamily",
+    "brute_force_knn",
+    "collision_probability",
+    "containment_to_jaccard",
+    "exact_containment",
+    "exact_jaccard",
+    "hamming_distance",
+    "hash_tokens",
+    "optimal_bands",
+    "pearson",
+    "simhash",
+    "simhash_similarity",
+    "stable_hash64",
+]

@@ -1,0 +1,58 @@
+"""Stable 64-bit hashing and universal hash families.
+
+Python's builtin ``hash`` is salted per process, so every sketch in this
+package hashes through blake2b for run-to-run determinism, then mixes with a
+universal family h(x) = (a*x + b) mod p.  The family uses the Mersenne prime
+p = 2^31 - 1 so that a*x (a, x < p) fits in uint64 and the whole family can
+be applied vectorized in numpy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+MERSENNE_31 = (1 << 31) - 1
+MAX_HASH = MERSENNE_31 - 1
+
+
+def stable_hash64(token: str, seed: int = 0) -> int:
+    """Deterministic 64-bit hash of a string token."""
+    h = hashlib.blake2b(
+        token.encode("utf-8"), digest_size=8, salt=seed.to_bytes(8, "little")
+    )
+    return int.from_bytes(h.digest(), "little")
+
+
+def hash_tokens(tokens, seed: int = 0) -> np.ndarray:
+    """Vector of stable 64-bit hashes for an iterable of string tokens."""
+    return np.fromiter(
+        (stable_hash64(t, seed) for t in tokens), dtype=np.uint64
+    )
+
+
+class UniversalHashFamily:
+    """A family of k pairwise-independent functions h_i(x) = (a_i x + b_i) mod p.
+
+    Inputs are 64-bit token hashes (reduced mod p internally); outputs lie in
+    [0, p) with p = 2^31 - 1.  ``apply`` is vectorized: (n,) inputs ->
+    (k, n) outputs.
+    """
+
+    def __init__(self, k: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.k = k
+        self.a = rng.integers(1, MERSENNE_31, size=k, dtype=np.uint64)
+        self.b = rng.integers(0, MERSENNE_31, size=k, dtype=np.uint64)
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Map (n,) uint64 inputs -> (k, n) outputs in [0, 2^31 - 1)."""
+        p = np.uint64(MERSENNE_31)
+        v = values.astype(np.uint64, copy=False) % p
+        # a*v < 2^31 * 2^31 = 2^62: no uint64 overflow.
+        return (self.a[:, None] * v[None, :] + self.b[:, None]) % p
+
+    def apply_one(self, value: int) -> np.ndarray:
+        """Map a single pre-hashed input through all k functions."""
+        return self.apply(np.array([value], dtype=np.uint64))[:, 0]

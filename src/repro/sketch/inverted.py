@@ -1,0 +1,64 @@
+"""Token -> posting-list inverted index.
+
+The substrate for exact overlap search (JOSIE, §2.4) and BM25 keyword search
+(§2.3).  Postings are kept sorted by key for deterministic iteration; global
+document-frequency statistics support both JOSIE's rare-token-first probing
+order and BM25 weighting.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class InvertedIndex:
+    """Maps tokens to the set of keys whose token set contains them."""
+
+    def __init__(self):
+        self._postings: dict[str, list[Hashable]] = {}
+        self._sizes: dict[Hashable, int] = {}
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self._postings)
+
+    def insert(self, key: Hashable, tokens: Iterable[str]) -> None:
+        """Index a key under its distinct tokens."""
+        distinct = set(tokens)
+        self._sizes[key] = len(distinct)
+        for t in distinct:
+            self._postings.setdefault(t, []).append(key)
+        self._sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            for plist in self._postings.values():
+                plist.sort(key=str)
+            self._sorted = True
+
+    def postings(self, token: str) -> list[Hashable]:
+        """Keys containing the token (sorted; empty list if unseen)."""
+        self._ensure_sorted()
+        return self._postings.get(token, [])
+
+    def document_frequency(self, token: str) -> int:
+        return len(self._postings.get(token, ()))
+
+    def size_of(self, key: Hashable) -> int:
+        """Distinct-token count of an indexed key."""
+        return self._sizes[key]
+
+    def keys(self) -> list[Hashable]:
+        return list(self._sizes)
+
+    def overlaps(self, tokens: Iterable[str]) -> dict[Hashable, int]:
+        """Exact overlap |Q ∩ X| for every indexed key X (full scan merge)."""
+        counts: dict[Hashable, int] = {}
+        for t in set(tokens):
+            for key in self._postings.get(t, ()):
+                counts[key] = counts.get(key, 0) + 1
+        return counts

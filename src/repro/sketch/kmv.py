@@ -1,0 +1,68 @@
+"""KMV (k minimum values / bottom-k) sketch for distinct-count estimation.
+
+Cardinality estimates feed the containment conversion in LSH Ensemble and
+JOSIE's cost model; KMV gives an unbiased (k-1)/max_kth estimator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.sketch.hashing import stable_hash64
+
+_MAX64 = float(1 << 64)
+
+
+class KMV:
+    """Bottom-k sketch: keeps the k smallest distinct 64-bit hashes."""
+
+    def __init__(self, k: int = 256, seed: int = 7):
+        if k < 2:
+            raise ValueError("KMV requires k >= 2")
+        self.k = k
+        self.seed = seed
+        self._heap: list[int] = []  # max-heap via negation
+        self._members: set[int] = set()
+
+    @classmethod
+    def from_values(cls, values: Iterable[str], k: int = 256, seed: int = 7) -> "KMV":
+        sk = cls(k, seed)
+        for v in values:
+            sk.update(v)
+        return sk
+
+    def update(self, token: str) -> None:
+        h = stable_hash64(str(token), self.seed)
+        if h in self._members:
+            return
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, -h)
+            self._members.add(h)
+        elif h < -self._heap[0]:
+            removed = -heapq.heappushpop(self._heap, -h)
+            self._members.discard(removed)
+            self._members.add(h)
+
+    def estimate(self) -> float:
+        """Estimated number of distinct values seen."""
+        n = len(self._heap)
+        if n < self.k:
+            return float(n)  # sketch not saturated: exact
+        kth = -self._heap[0] / _MAX64
+        return (self.k - 1) / kth if kth > 0 else float(n)
+
+    def merge(self, other: "KMV") -> "KMV":
+        """Sketch of the union of the two streams."""
+        if self.k != other.k or self.seed != other.seed:
+            raise ValueError("incompatible KMV sketches")
+        out = KMV(self.k, self.seed)
+        for h in set(self._members) | set(other._members):
+            if len(out._heap) < out.k:
+                heapq.heappush(out._heap, -h)
+                out._members.add(h)
+            elif h < -out._heap[0]:
+                removed = -heapq.heappushpop(out._heap, -h)
+                out._members.discard(removed)
+                out._members.add(h)
+        return out

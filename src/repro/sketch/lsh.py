@@ -1,0 +1,120 @@
+"""Banded MinHash LSH index for Jaccard-threshold search.
+
+Signatures are split into b bands of r rows; two sets collide in a band with
+probability j^r, so the probability of colliding in at least one band is
+1 - (1 - j^r)^b — the classic S-curve.  ``optimal_bands`` picks (b, r)
+minimizing weighted false positives + negatives at a target threshold, as in
+datasketch and the LSH Ensemble paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.errors import IndexError_
+from repro.sketch.minhash import MinHash
+
+
+def collision_probability(j: float, b: int, r: int) -> float:
+    """P[at least one band collides] for true Jaccard j under (b, r)."""
+    return 1.0 - (1.0 - j**r) ** b
+
+
+def _integrate(f, lo: float, hi: float, steps: int = 100) -> float:
+    xs = np.linspace(lo, hi, steps)
+    return float(np.trapezoid([f(x) for x in xs], xs))
+
+
+def optimal_bands(
+    num_perm: int,
+    threshold: float,
+    fp_weight: float = 0.5,
+) -> tuple[int, int]:
+    """Choose (b, r) with b*r <= num_perm minimizing the weighted integral of
+    false-positive area below the threshold and false-negative area above."""
+    best, best_cost = (1, num_perm), float("inf")
+    for r in range(1, num_perm + 1):
+        b = num_perm // r
+        if b < 1:
+            break
+        fp = _integrate(lambda j: collision_probability(j, b, r), 0.0, threshold)
+        fn = _integrate(
+            lambda j: 1.0 - collision_probability(j, b, r), threshold, 1.0
+        )
+        cost = fp_weight * fp + (1.0 - fp_weight) * fn
+        if cost < best_cost:
+            best, best_cost = (b, r), cost
+    return best
+
+
+class MinHashLSH:
+    """LSH index over MinHash signatures for a Jaccard threshold."""
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        num_perm: int = 128,
+        bands: tuple[int, int] | None = None,
+        fp_weight: float = 0.5,
+    ):
+        if not 0.0 < threshold <= 1.0:
+            raise IndexError_(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.num_perm = num_perm
+        self.b, self.r = bands or optimal_bands(num_perm, threshold, fp_weight)
+        if self.b * self.r > num_perm:
+            raise IndexError_(
+                f"b*r = {self.b * self.r} exceeds num_perm = {num_perm}"
+            )
+        self._tables: list[dict[bytes, list[Hashable]]] = [
+            defaultdict(list) for _ in range(self.b)
+        ]
+        self._keys: dict[Hashable, MinHash] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._keys
+
+    def _band_digests(self, mh: MinHash) -> list[bytes]:
+        sig = mh.hashvalues
+        return [
+            sig[i * self.r : (i + 1) * self.r].tobytes() for i in range(self.b)
+        ]
+
+    def insert(self, key: Hashable, mh: MinHash) -> None:
+        """Add a keyed signature to the index."""
+        if mh.num_perm != self.num_perm:
+            raise IndexError_(
+                f"signature has {mh.num_perm} perms, index expects {self.num_perm}"
+            )
+        if key in self._keys:
+            raise IndexError_(f"duplicate key {key!r}")
+        self._keys[key] = mh
+        for table, digest in zip(self._tables, self._band_digests(mh)):
+            table[digest].append(key)
+
+    def query(self, mh: MinHash) -> list[Hashable]:
+        """Keys colliding with the query in at least one band (candidates)."""
+        seen: set[Hashable] = set()
+        out: list[Hashable] = []
+        for table, digest in zip(self._tables, self._band_digests(mh)):
+            for key in table.get(digest, ()):
+                if key not in seen:
+                    seen.add(key)
+                    out.append(key)
+        return out
+
+    def query_verified(self, mh: MinHash) -> list[tuple[Hashable, float]]:
+        """Candidates with estimated Jaccard >= threshold, sorted descending."""
+        scored = []
+        for key in self.query(mh):
+            j = mh.jaccard(self._keys[key])
+            if j >= self.threshold:
+                scored.append((key, j))
+        scored.sort(key=lambda kv: (-kv[1], str(kv[0])))
+        return scored

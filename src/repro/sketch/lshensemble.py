@@ -1,0 +1,159 @@
+"""LSH Ensemble: internet-scale set *containment* search (Zhu et al., VLDB'16).
+
+Jaccard-threshold LSH is biased against large candidate sets, which is fatal
+under the skewed cardinality distributions of data lakes.  LSH Ensemble
+partitions the indexed domains by cardinality (equi-depth), converts the
+query's containment threshold into a per-partition Jaccard threshold using
+the partition's *upper* cardinality bound
+
+    j_p(t) = t * |Q| / (|Q| + u_p - t * |Q|)
+
+and probes each partition with banding parameters tuned to j_p.  One
+partition degenerates to plain containment-converted LSH (the ablation
+baseline in E2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable
+
+from repro.core.errors import IndexError_
+from repro.sketch.lsh import collision_probability
+from repro.sketch.minhash import MinHash
+
+
+def containment_to_jaccard(t: float, query_size: int, upper_size: int) -> float:
+    """Lower bound on Jaccard given containment >= t and |X| <= upper_size."""
+    if query_size <= 0:
+        return 0.0
+    denom = query_size + upper_size - t * query_size
+    if denom <= 0:
+        return 1.0
+    return max(0.0, min(1.0, t * query_size / denom))
+
+
+class _Bandings:
+    """Pre-built LSH tables for several (b, r) configurations over one set of
+    signatures, so the ensemble can pick banding per query threshold."""
+
+    ROWS = (1, 2, 4, 8, 16, 32)
+
+    def __init__(self, num_perm: int):
+        self.num_perm = num_perm
+        self.rows = [r for r in self.ROWS if r <= num_perm]
+        # r -> list of band hash tables
+        self._tables: dict[int, list[dict[bytes, list[Hashable]]]] = {
+            r: [defaultdict(list) for _ in range(num_perm // r)]
+            for r in self.rows
+        }
+        self.keys: dict[Hashable, tuple[MinHash, int]] = {}
+
+    def insert(self, key: Hashable, mh: MinHash, size: int) -> None:
+        self.keys[key] = (mh, size)
+        sig = mh.hashvalues
+        for r, tables in self._tables.items():
+            for i, table in enumerate(tables):
+                table[sig[i * r : (i + 1) * r].tobytes()].append(key)
+
+    def choose_rows(self, j: float) -> int:
+        """Pick r (b = num_perm//r) near threshold j.
+
+        False negatives are weighted heavily: the ensemble's contract is
+        recall at the containment threshold (the paper optimizes partitions
+        for zero false negatives and accepts extra candidates, which the
+        caller verifies anyway).
+        """
+        best_r, best_cost = self.rows[0], float("inf")
+        for r in self.rows:
+            b = self.num_perm // r
+            fn = 1.0 - collision_probability(j, b, r)
+            fp = collision_probability(max(0.0, j - 0.2), b, r)
+            cost = 5.0 * fn + fp
+            if cost < best_cost:
+                best_r, best_cost = r, cost
+        return best_r
+
+    def query(self, mh: MinHash, j: float) -> list[Hashable]:
+        r = self.choose_rows(j)
+        tables = self._tables[r]
+        sig = mh.hashvalues
+        seen: set[Hashable] = set()
+        out = []
+        for i, table in enumerate(tables):
+            for key in table.get(sig[i * r : (i + 1) * r].tobytes(), ()):
+                if key not in seen:
+                    seen.add(key)
+                    out.append(key)
+        return out
+
+
+class LSHEnsemble:
+    """Containment-threshold index over (key, MinHash, set size) triples.
+
+    Build with ``index(entries)`` (a single bulk call, which computes the
+    equi-depth cardinality partitioning), then probe with
+    ``query(minhash, size, threshold)``.
+    """
+
+    def __init__(self, num_partitions: int = 8, num_perm: int = 128):
+        if num_partitions < 1:
+            raise IndexError_("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self.num_perm = num_perm
+        self._partitions: list[tuple[int, _Bandings]] = []  # (upper bound, bandings)
+        self._indexed = False
+
+    def index(self, entries: list[tuple[Hashable, MinHash, int]]) -> None:
+        """Bulk-build: equi-depth partition by set size, then fill bandings."""
+        if self._indexed:
+            raise IndexError_("LSHEnsemble.index may only be called once")
+        if not entries:
+            raise IndexError_("cannot index an empty entry list")
+        entries = sorted(entries, key=lambda e: e[2])
+        n = len(entries)
+        per = max(1, n // self.num_partitions)
+        self._partitions = []
+        for start in range(0, n, per):
+            chunk = entries[start : start + per]
+            if not chunk:
+                continue
+            upper = chunk[-1][2]
+            bandings = _Bandings(self.num_perm)
+            for key, mh, size in chunk:
+                bandings.insert(key, mh, size)
+            self._partitions.append((upper, bandings))
+        self._indexed = True
+
+    def query(
+        self, mh: MinHash, size: int, threshold: float
+    ) -> list[Hashable]:
+        """Candidate keys whose containment of the query likely >= threshold."""
+        if not self._indexed:
+            raise IndexError_("query before index()")
+        out: list[Hashable] = []
+        seen: set[Hashable] = set()
+        for upper, bandings in self._partitions:
+            j = containment_to_jaccard(threshold, size, max(upper, 1))
+            for key in bandings.query(mh, j):
+                if key not in seen:
+                    seen.add(key)
+                    out.append(key)
+        return out
+
+    def query_verified(
+        self, mh: MinHash, size: int, threshold: float
+    ) -> list[tuple[Hashable, float]]:
+        """Candidates with *estimated* containment >= threshold, sorted."""
+        if not self._indexed:
+            raise IndexError_("query before index()")
+        scored = []
+        for upper, bandings in self._partitions:
+            j = containment_to_jaccard(threshold, size, max(upper, 1))
+            for key in bandings.query(mh, j):
+                cand_mh, cand_size = bandings.keys[key]
+                c = mh.containment(cand_mh, size, cand_size)
+                if c >= threshold:
+                    scored.append((key, c))
+        scored.sort(key=lambda kv: (-kv[1], str(kv[0])))
+        return scored

@@ -1,0 +1,98 @@
+"""QCR correlation sketches (Santos et al., "A Sketch-based Index for
+Correlated Dataset Search", ICDE'22).
+
+Goal: find tables that are joinable with a query table AND whose numeric
+column is correlated with a numeric query column *after the join* — without
+executing the join.  The sketch samples join keys by hashed-key minima (so
+two sketches of the same key universe sample the *same* keys) and stores the
+paired numeric values; the correlation of the aligned samples estimates the
+post-join correlation.  QCR additionally quantizes (key, sign-of-deviation)
+pairs so that inner-product of sketch sets estimates correlation strength.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sketch.hashing import stable_hash64
+
+
+@dataclass(frozen=True)
+class _Sample:
+    key_hash: int
+    key: str
+    value: float
+
+
+class CorrelationSketch:
+    """Keyed bottom-n sample of (join key, numeric value) pairs."""
+
+    def __init__(self, n: int = 256, seed: int = 13):
+        if n < 4:
+            raise ValueError("sketch size must be >= 4")
+        self.n = n
+        self.seed = seed
+        self._samples: dict[int, _Sample] = {}
+
+    @classmethod
+    def from_pairs(
+        cls, pairs, n: int = 256, seed: int = 13
+    ) -> "CorrelationSketch":
+        """Build from an iterable of (key, value); non-finite values skipped."""
+        sk = cls(n, seed)
+        for key, value in pairs:
+            sk.update(str(key), float(value))
+        return sk
+
+    def update(self, key: str, value: float) -> None:
+        if not math.isfinite(value):
+            return
+        h = stable_hash64(key.strip().lower(), self.seed)
+        if h in self._samples:
+            return
+        self._samples[h] = _Sample(h, key, value)
+        if len(self._samples) > self.n:
+            # Drop the largest hash (keep bottom-n).
+            worst = max(self._samples)
+            del self._samples[worst]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def aligned_values(
+        self, other: "CorrelationSketch"
+    ) -> tuple[list[float], list[float]]:
+        """Values of keys sampled by *both* sketches, aligned by key."""
+        common = sorted(set(self._samples) & set(other._samples))
+        xs = [self._samples[h].value for h in common]
+        ys = [other._samples[h].value for h in common]
+        return xs, ys
+
+    def correlation(self, other: "CorrelationSketch") -> float:
+        """Estimated post-join Pearson correlation (0 if too few shared keys)."""
+        xs, ys = self.aligned_values(other)
+        return pearson(xs, ys)
+
+    def containment(self, other: "CorrelationSketch") -> float:
+        """Estimated fraction of this sketch's keys present in the other —
+        the joinability signal accompanying the correlation signal."""
+        if not self._samples:
+            return 0.0
+        shared = len(set(self._samples) & set(other._samples))
+        return shared / len(self._samples)
+
+
+def pearson(xs: list[float], ys: list[float]) -> float:
+    """Plain Pearson correlation; 0.0 when undefined (n < 3 or 0 variance)."""
+    n = len(xs)
+    if n < 3 or n != len(ys):
+        return 0.0
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((a - mx) * (b - my) for a, b in zip(xs, ys))
+    vx = sum((a - mx) ** 2 for a in xs)
+    vy = sum((b - my) ** 2 for b in ys)
+    if vx <= 0 or vy <= 0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)

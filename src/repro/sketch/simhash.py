@@ -1,0 +1,38 @@
+"""SimHash fingerprints for near-duplicate table detection.
+
+Used by the stitching pipeline (E18) to group table fragments that share a
+logical schema: two token multisets with high cosine similarity get
+fingerprints at small Hamming distance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.sketch.hashing import stable_hash64
+
+_BITS = 64
+
+
+def simhash(tokens: Iterable[str], seed: int = 3) -> int:
+    """64-bit SimHash fingerprint of a token multiset."""
+    acc = [0] * _BITS
+    for token in tokens:
+        h = stable_hash64(str(token), seed)
+        for bit in range(_BITS):
+            acc[bit] += 1 if (h >> bit) & 1 else -1
+    out = 0
+    for bit in range(_BITS):
+        if acc[bit] > 0:
+            out |= 1 << bit
+    return out
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between two 64-bit fingerprints."""
+    return (a ^ b).bit_count()
+
+
+def simhash_similarity(a: int, b: int) -> float:
+    """1 - normalized Hamming distance (1.0 for identical fingerprints)."""
+    return 1.0 - hamming_distance(a, b) / _BITS

@@ -1,0 +1,50 @@
+"""Table understanding: annotation, type detection, domains, embeddings."""
+
+from repro.understanding.annotate import (
+    OntologyAnnotator,
+    TableAnnotation,
+    synthesize_kb,
+)
+from repro.understanding.contextual import (
+    ContextualColumnEncoder,
+    train_contrastive_projection,
+)
+from repro.understanding.domains import (
+    DiscoveredDomain,
+    DomainDiscovery,
+    domain_recovery_score,
+)
+from repro.understanding.embedding import EmbeddingSpace, train_embeddings
+from repro.understanding.features import FEATURE_NAMES, column_features
+from repro.understanding.profiles import ColumnProfile, TableProfile
+from repro.understanding.querytime import (
+    AnnotationStats,
+    QueryTimeAnnotator,
+    batch_annotate,
+)
+from repro.understanding.sato import ColumnOnlyBaseline, SatoTypeDetector
+from repro.understanding.sherlock import SherlockTypeDetector, SoftmaxClassifier
+
+__all__ = [
+    "FEATURE_NAMES",
+    "AnnotationStats",
+    "ColumnOnlyBaseline",
+    "ColumnProfile",
+    "ContextualColumnEncoder",
+    "DiscoveredDomain",
+    "DomainDiscovery",
+    "EmbeddingSpace",
+    "OntologyAnnotator",
+    "SatoTypeDetector",
+    "SherlockTypeDetector",
+    "SoftmaxClassifier",
+    "QueryTimeAnnotator",
+    "TableProfile",
+    "batch_annotate",
+    "TableAnnotation",
+    "column_features",
+    "domain_recovery_score",
+    "synthesize_kb",
+    "train_contrastive_projection",
+    "train_embeddings",
+]

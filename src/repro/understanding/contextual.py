@@ -1,0 +1,143 @@
+"""Starmie-style contextualized column representations (Fan et al., 2022).
+
+Starmie's contribution over value-bag embeddings: a column's representation
+depends on its *table context*, learned with self-supervised contrastive
+training over augmented table views.  The reproduction keeps both
+ingredients without a transformer:
+
+* contextualization — a column's vector mixes its own value embedding with
+  an attention-weighted combination of its sibling columns' vectors;
+* contrastive refinement — a linear projection trained with the NT-Xent
+  (SimCLR) objective on pairs of row-sampled views of the same column, so
+  views of one column embed together while different columns repel.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.datalake.table import Table
+from repro.understanding.embedding import EmbeddingSpace
+
+
+class ContextualColumnEncoder:
+    """Encode table columns into context-aware unit vectors."""
+
+    def __init__(
+        self,
+        space: EmbeddingSpace,
+        context_weight: float = 0.3,
+        projection: np.ndarray | None = None,
+    ):
+        if not 0.0 <= context_weight < 1.0:
+            raise ValueError("context_weight must be in [0, 1)")
+        self.space = space
+        self.context_weight = context_weight
+        self.projection = projection  # optional trained (d, d) matrix
+
+    # -- encoding -----------------------------------------------------------------
+
+    def _raw_column_vectors(self, table: Table) -> list[np.ndarray]:
+        return [
+            self.space.embed_set(col.non_null_values())
+            for col in table.columns
+        ]
+
+    def encode_table(self, table: Table) -> list[np.ndarray]:
+        """Context-aware unit vectors, one per column of the table.
+
+        Context is an attention-weighted mean of sibling vectors, with
+        attention = softmax of cosine similarity to the target column —
+        related siblings contribute more, mirroring self-attention.
+        """
+        raw = self._raw_column_vectors(table)
+        out = []
+        for i, own in enumerate(raw):
+            siblings = [raw[j] for j in range(len(raw)) if j != i]
+            if siblings and np.linalg.norm(own) > 0:
+                sims = np.array([float(np.dot(own, s)) for s in siblings])
+                weights = np.exp(sims - sims.max())
+                weights /= weights.sum()
+                context = sum(w * s for w, s in zip(weights, siblings))
+                vec = (1 - self.context_weight) * own + self.context_weight * context
+            else:
+                vec = own
+            if self.projection is not None:
+                vec = vec @ self.projection
+            norm = np.linalg.norm(vec)
+            out.append(vec / norm if norm > 0 else vec)
+        return out
+
+    def encode_column(self, table: Table, index: int) -> np.ndarray:
+        return self.encode_table(table)[index]
+
+
+def _view_vector(
+    space: EmbeddingSpace, values: list[str], rng: random.Random, frac: float
+) -> np.ndarray:
+    """Embed a random row-sampled view of a column (a Starmie augmentation)."""
+    if not values:
+        return np.zeros(space.dim)
+    k = max(1, int(frac * len(values)))
+    return space.embed_set(rng.sample(values, min(k, len(values))))
+
+
+def train_contrastive_projection(
+    space: EmbeddingSpace,
+    tables: list[Table],
+    dim: int | None = None,
+    n_epochs: int = 30,
+    batch_size: int = 24,
+    temperature: float = 0.2,
+    lr: float = 0.05,
+    view_fraction: float = 0.5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Learn a linear projection with the NT-Xent contrastive objective.
+
+    Positives are two row-sampled views of the same column; all other view
+    pairs in the batch are negatives.  Returns a (d, d') matrix usable as
+    ``ContextualColumnEncoder(projection=...)``.
+    """
+    rng = random.Random(seed)
+    d = space.dim
+    dim = dim or d
+    columns = [
+        col.non_null_values()
+        for t in tables
+        for col in t.columns
+        if not col.is_numeric and len(col.non_null_values()) >= 4
+    ]
+    if len(columns) < 4:
+        return np.eye(d, dim)
+
+    np_rng = np.random.default_rng(seed)
+    w = np.eye(d, dim) + 0.01 * np_rng.normal(size=(d, dim))
+
+    for _ in range(n_epochs):
+        batch_cols = rng.sample(columns, min(batch_size, len(columns)))
+        a = np.vstack([_view_vector(space, c, rng, view_fraction) for c in batch_cols])
+        b = np.vstack([_view_vector(space, c, rng, view_fraction) for c in batch_cols])
+        za, zb = a @ w, b @ w
+
+        def normalize(z):
+            n = np.linalg.norm(z, axis=1, keepdims=True)
+            n[n == 0] = 1.0
+            return z / n
+
+        za_n, zb_n = normalize(za), normalize(zb)
+        logits = za_n @ zb_n.T / temperature  # (n, n); diagonal = positives
+        logits -= logits.max(axis=1, keepdims=True)
+        p = np.exp(logits)
+        p /= p.sum(axis=1, keepdims=True)
+        n = len(batch_cols)
+        grad_logits = (p - np.eye(n)) / n / temperature
+        # Backprop through za_n @ zb_n.T, ignoring the normalization Jacobian
+        # (standard simplification; direction is preserved).
+        grad_za = grad_logits @ zb_n
+        grad_zb = grad_logits.T @ za_n
+        grad_w = a.T @ grad_za + b.T @ grad_zb
+        w -= lr * grad_w
+    return w

@@ -1,0 +1,166 @@
+"""Sherlock-style hand-crafted column features.
+
+Sherlock (KDD'19) detects semantic column types from per-column feature
+vectors (character distributions, value statistics, word features).  This is
+a compact but faithful analogue: ~40 deterministic features per column.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.datalake.table import Column
+
+FEATURE_NAMES = [
+    "n_values",
+    "distinct_ratio",
+    "null_fraction",
+    "mean_length",
+    "std_length",
+    "min_length",
+    "max_length",
+    "frac_digit_chars",
+    "frac_alpha_chars",
+    "frac_space_chars",
+    "frac_punct_chars",
+    "frac_upper_chars",
+    "char_entropy",
+    "frac_numeric_cells",
+    "numeric_mean",
+    "numeric_std",
+    "numeric_min",
+    "numeric_max",
+    "frac_negative",
+    "frac_integer_valued",
+    "mean_tokens",
+    "max_tokens",
+    "has_at",
+    "has_percent",
+    "has_dollar",
+    "has_dash",
+    "has_slash",
+    "has_colon",
+    "has_dot",
+    "has_paren",
+    "has_comma",
+    "starts_digit_frac",
+    "starts_alpha_frac",
+    "all_same_length",
+    "mean_digit_runs",
+    "frac_cells_with_digit",
+    "frac_cells_all_digit",
+    "frac_cells_capitalized",
+    "len_4_frac",
+    "len_5_frac",
+]
+
+_PUNCT = set(".,;:!?@#$%^&*()-_=+[]{}|/\\'\"<>~`")
+
+
+def column_features(column: Column) -> np.ndarray:
+    """Compute the feature vector of a column (see FEATURE_NAMES)."""
+    values = [v for v in column.values if v.strip()]
+    n = len(values)
+    if n == 0:
+        return np.zeros(len(FEATURE_NAMES))
+
+    lengths = np.array([len(v) for v in values], dtype=float)
+    all_text = "".join(values)
+    n_chars = max(len(all_text), 1)
+    digit = sum(c.isdigit() for c in all_text)
+    alpha = sum(c.isalpha() for c in all_text)
+    space = sum(c.isspace() for c in all_text)
+    punct = sum(c in _PUNCT for c in all_text)
+    upper = sum(c.isupper() for c in all_text)
+
+    char_counts = Counter(all_text.lower())
+    entropy = -sum(
+        (c / n_chars) * math.log(c / n_chars) for c in char_counts.values()
+    )
+
+    numerics = []
+    for v in values:
+        try:
+            x = float(v.replace(",", "").strip("$%"))
+        except ValueError:
+            continue
+        if math.isfinite(x):
+            numerics.append(x)
+    numerics = np.array(numerics, dtype=float)
+    frac_numeric = len(numerics) / n
+    if len(numerics):
+        num_mean = float(np.mean(numerics))
+        num_std = float(np.std(numerics))
+        num_min = float(np.min(numerics))
+        num_max = float(np.max(numerics))
+        frac_neg = float(np.mean(numerics < 0))
+        frac_int = float(np.mean(numerics == np.round(numerics)))
+    else:
+        num_mean = num_std = num_min = num_max = frac_neg = frac_int = 0.0
+
+    token_counts = np.array([len(v.split()) for v in values], dtype=float)
+
+    def frac_with(ch: str) -> float:
+        return sum(1 for v in values if ch in v) / n
+
+    digit_runs = []
+    for v in values:
+        runs, in_run = 0, False
+        for c in v:
+            if c.isdigit() and not in_run:
+                runs, in_run = runs + 1, True
+            elif not c.isdigit():
+                in_run = False
+        digit_runs.append(runs)
+
+    feats = [
+        float(n),
+        len(set(values)) / n,
+        column.null_fraction(),
+        float(np.mean(lengths)),
+        float(np.std(lengths)),
+        float(np.min(lengths)),
+        float(np.max(lengths)),
+        digit / n_chars,
+        alpha / n_chars,
+        space / n_chars,
+        punct / n_chars,
+        upper / n_chars,
+        entropy,
+        frac_numeric,
+        _squash(num_mean),
+        _squash(num_std),
+        _squash(num_min),
+        _squash(num_max),
+        frac_neg,
+        frac_int,
+        float(np.mean(token_counts)),
+        float(np.max(token_counts)),
+        frac_with("@"),
+        frac_with("%"),
+        frac_with("$"),
+        frac_with("-"),
+        frac_with("/"),
+        frac_with(":"),
+        frac_with("."),
+        frac_with("("),
+        frac_with(","),
+        sum(1 for v in values if v[0].isdigit()) / n,
+        sum(1 for v in values if v[0].isalpha()) / n,
+        1.0 if len(set(lengths.tolist())) == 1 else 0.0,
+        float(np.mean(digit_runs)),
+        sum(1 for v in values if any(c.isdigit() for c in v)) / n,
+        sum(1 for v in values if v.isdigit()) / n,
+        sum(1 for v in values if v[:1].isupper()) / n,
+        float(np.mean(lengths == 4)),
+        float(np.mean(lengths == 5)),
+    ]
+    return np.array(feats, dtype=float)
+
+
+def _squash(x: float) -> float:
+    """Signed log squash keeping magnitudes comparable across features."""
+    return math.copysign(math.log1p(abs(x)), x)

@@ -1,0 +1,78 @@
+"""Query-time table annotation (tutorial §3, "Challenges").
+
+Discovery systems traditionally annotate the whole lake offline; the
+tutorial poses moving annotation to *query time* as an open challenge —
+annotate only the tables a query actually touches, caching results so
+repeated touches are free.  This module implements that mode with an LRU
+cache and work counters, so E21 can quantify the batch-vs-lazy trade-off
+the tutorial describes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.datalake.lake import DataLake
+from repro.datalake.ontology import Ontology
+from repro.understanding.annotate import OntologyAnnotator, TableAnnotation
+
+
+@dataclass
+class AnnotationStats:
+    """Work counters for the lazy annotator."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    annotated: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class QueryTimeAnnotator:
+    """Annotate tables on demand with a bounded LRU cache."""
+
+    lake: DataLake
+    ontology: Ontology
+    capacity: int = 256
+    stats: AnnotationStats = field(default_factory=AnnotationStats)
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._annotator = OntologyAnnotator(self.ontology)
+        self._cache: OrderedDict[str, TableAnnotation] = OrderedDict()
+
+    def annotate(self, table_name: str) -> TableAnnotation:
+        """Annotation of one table — cached after the first request."""
+        self.stats.requests += 1
+        cached = self._cache.get(table_name)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self._cache.move_to_end(table_name)
+            return cached
+        annotation = self._annotator.annotate(self.lake.table(table_name))
+        self.stats.annotated += 1
+        self._cache[table_name] = annotation
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return annotation
+
+    def annotate_many(self, table_names: list[str]) -> list[TableAnnotation]:
+        return [self.annotate(name) for name in table_names]
+
+    def cached_tables(self) -> list[str]:
+        return list(self._cache)
+
+
+def batch_annotate(
+    lake: DataLake, ontology: Ontology
+) -> dict[str, TableAnnotation]:
+    """The traditional offline mode: annotate every table up front."""
+    annotator = OntologyAnnotator(ontology)
+    return {table.name: annotator.annotate(table) for table in lake}

@@ -1,0 +1,99 @@
+"""Sherlock-style semantic type detection: a softmax classifier over
+hand-crafted column features (Hulsebos et al., KDD'19).
+
+The original is a deep network over 1588 features; the reproduction keeps
+the architecture's essence — supervised learning on per-column features with
+no table context — which is the baseline Sato improves on in E7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datalake.table import Column
+from repro.understanding.features import column_features
+
+
+class SoftmaxClassifier:
+    """Multinomial logistic regression trained with full-batch gradient
+    descent + L2; features are standardized internally."""
+
+    def __init__(
+        self,
+        n_epochs: int = 300,
+        lr: float = 0.5,
+        l2: float = 1e-3,
+        seed: int = 0,
+    ):
+        self.n_epochs = n_epochs
+        self.lr = lr
+        self.l2 = l2
+        self.seed = seed
+        self.classes_: list[str] = []
+        self._w: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: list[str]) -> "SoftmaxClassifier":
+        x = np.asarray(features, dtype=float)
+        self.classes_ = sorted(set(labels))
+        label_index = {c: i for i, c in enumerate(self.classes_)}
+        y = np.array([label_index[l] for l in labels])
+        self._mu = x.mean(axis=0)
+        self._sigma = x.std(axis=0)
+        self._sigma[self._sigma == 0] = 1.0
+        xs = (x - self._mu) / self._sigma
+        xs = np.hstack([xs, np.ones((len(xs), 1))])  # bias
+        n, d = xs.shape
+        k = len(self.classes_)
+        rng = np.random.default_rng(self.seed)
+        w = rng.normal(0, 0.01, size=(d, k))
+        onehot = np.eye(k)[y]
+        for _ in range(self.n_epochs):
+            logits = xs @ w
+            logits -= logits.max(axis=1, keepdims=True)
+            p = np.exp(logits)
+            p /= p.sum(axis=1, keepdims=True)
+            grad = xs.T @ (p - onehot) / n + self.l2 * w
+            w -= self.lr * grad
+        self._w = w
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._w is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(features, dtype=float)
+        xs = (x - self._mu) / self._sigma
+        xs = np.hstack([xs, np.ones((len(xs), 1))])
+        logits = xs @ self._w
+        logits -= logits.max(axis=1, keepdims=True)
+        p = np.exp(logits)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> list[str]:
+        p = self.predict_proba(features)
+        return [self.classes_[i] for i in p.argmax(axis=1)]
+
+
+class SherlockTypeDetector:
+    """Per-column semantic type detector (no table context)."""
+
+    def __init__(self, **clf_kwargs):
+        self._clf = SoftmaxClassifier(**clf_kwargs)
+
+    @property
+    def classes_(self) -> list[str]:
+        return self._clf.classes_
+
+    def fit(self, columns: list[Column], labels: list[str]) -> "SherlockTypeDetector":
+        feats = np.vstack([column_features(c) for c in columns])
+        self._clf.fit(feats, labels)
+        return self
+
+    def predict(self, columns: list[Column]) -> list[str]:
+        feats = np.vstack([column_features(c) for c in columns])
+        return self._clf.predict(feats)
+
+    def predict_proba(self, columns: list[Column]) -> np.ndarray:
+        feats = np.vstack([column_features(c) for c in columns])
+        return self._clf.predict_proba(feats)

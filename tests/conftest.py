@@ -1,0 +1,67 @@
+"""Shared fixtures: small deterministic corpora reused across test modules.
+
+Corpus fixtures are session-scoped (generation and index builds dominate
+test time); tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalake.generate import (
+    make_join_corpus,
+    make_union_corpus,
+)
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Column, Table, TableMetadata
+from repro.understanding.embedding import train_embeddings
+
+
+@pytest.fixture
+def tiny_table() -> Table:
+    return Table.from_dict(
+        "cities",
+        {
+            "city": ["Oslo", "Rome", "Lima", "Oslo"],
+            "country": ["Norway", "Italy", "Peru", "Norway"],
+            "population": ["700000", "2800000", "9700000", "700000"],
+        },
+        TableMetadata(title="world cities", tags=["geo"]),
+    )
+
+
+@pytest.fixture
+def tiny_lake(tiny_table) -> DataLake:
+    other = Table.from_dict(
+        "capitals",
+        {
+            "capital": ["Oslo", "Rome", "Madrid"],
+            "continent": ["Europe", "Europe", "Europe"],
+        },
+    )
+    numbers = Table.from_dict(
+        "metrics",
+        {"id": ["a", "b", "c"], "value": ["1.5", "2.5", "3.5"]},
+    )
+    return DataLake([tiny_table, other, numbers])
+
+
+@pytest.fixture(scope="session")
+def join_corpus():
+    return make_join_corpus(n_tables=60, n_queries=4, base_size=800, seed=11)
+
+
+@pytest.fixture(scope="session")
+def union_corpus():
+    return make_union_corpus(
+        n_groups=4, tables_per_group=4, rows_per_table=40, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def union_space(union_corpus):
+    return train_embeddings(union_corpus.lake, dim=32, seed=11)
+
+
+def make_column(name: str, values: list[str]) -> Column:
+    return Column(name, values)

@@ -1,0 +1,95 @@
+"""Unit + property tests for bipartite score aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.aggregate import (
+    greedy_alignment,
+    hungarian_alignment,
+    table_unionability,
+)
+
+
+class TestHungarian:
+    def test_identity_matrix(self):
+        total, pairs = hungarian_alignment(np.eye(3))
+        assert total == pytest.approx(3.0)
+        assert sorted(pairs) == [(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]
+
+    def test_rectangular(self):
+        scores = np.array([[0.9, 0.1], [0.8, 0.2], [0.1, 0.7]])
+        total, pairs = hungarian_alignment(scores)
+        assert len(pairs) <= 2  # at most min(rows, cols) matches
+
+    def test_zero_scores_excluded(self):
+        total, pairs = hungarian_alignment(np.zeros((2, 2)))
+        assert total == 0.0 and pairs == []
+
+    def test_empty(self):
+        assert hungarian_alignment(np.zeros((0, 0))) == (0.0, [])
+
+    def test_one_to_one(self):
+        scores = np.array([[0.9, 0.8], [0.9, 0.1]])
+        _, pairs = hungarian_alignment(scores)
+        qs = [p[0] for p in pairs]
+        cs = [p[1] for p in pairs]
+        assert len(set(qs)) == len(qs) and len(set(cs)) == len(cs)
+
+
+class TestGreedy:
+    def test_takes_best_first(self):
+        scores = np.array([[0.5, 0.9], [0.8, 0.7]])
+        _, pairs = greedy_alignment(scores)
+        assert pairs[0] == (0, 1, 0.9)
+
+    def test_greedy_can_be_suboptimal_but_valid(self):
+        scores = np.array([[0.9, 0.85], [0.8, 0.0]])
+        g_total, _ = greedy_alignment(scores)
+        h_total, _ = hungarian_alignment(scores)
+        assert g_total <= h_total
+
+    def test_empty(self):
+        assert greedy_alignment(np.zeros((0, 3))) == (0.0, [])
+
+
+class TestTableUnionability:
+    def test_normalization_by_query_columns(self):
+        scores = np.ones((4, 4))
+        total, _ = table_unionability(scores)
+        assert total == pytest.approx(1.0)
+
+    def test_partial_match_fraction(self):
+        scores = np.zeros((4, 4))
+        scores[0, 0] = 1.0
+        scores[1, 1] = 1.0
+        total, _ = table_unionability(scores)
+        assert total == pytest.approx(0.5)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            table_unionability(np.eye(2), method="magic")
+
+    def test_greedy_method_selectable(self):
+        total, pairs = table_unionability(np.eye(2), method="greedy")
+        assert total == pytest.approx(1.0)
+        assert len(pairs) == 2
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(1, 6),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_hungarian_dominates_greedy(nq, nc, seed):
+    """Property: the optimal matching never scores below the greedy one."""
+    rng = np.random.default_rng(seed)
+    scores = rng.uniform(0, 1, size=(nq, nc))
+    h_total, h_pairs = hungarian_alignment(scores)
+    g_total, g_pairs = greedy_alignment(scores)
+    assert h_total >= g_total - 1e-9
+    for pairs in (h_pairs, g_pairs):
+        assert len({p[0] for p in pairs}) == len(pairs)
+        assert len({p[1] for p in pairs}) == len(pairs)

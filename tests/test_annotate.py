@@ -1,0 +1,95 @@
+"""Tests for ontology-based table annotation and KB synthesis."""
+
+from repro.datalake.generate import make_relationship_corpus
+from repro.datalake.ontology import Ontology
+from repro.datalake.table import Column, Table
+from repro.understanding.annotate import OntologyAnnotator, synthesize_kb
+
+
+def _simple_ontology():
+    o = Ontology()
+    o.add_class("city")
+    o.add_class("country")
+    for v in ["oslo", "rome", "lima"]:
+        o.add_value(v, "city")
+    for v in ["norway", "italy", "peru"]:
+        o.add_value(v, "country")
+    o.add_relation("located_in", "city", "country")
+    o.add_fact("oslo", "norway", "located_in")
+    o.add_fact("rome", "italy", "located_in")
+    o.add_fact("lima", "peru", "located_in")
+    return o
+
+
+class TestColumnAnnotation:
+    def test_majority_class(self):
+        ann = OntologyAnnotator(_simple_ontology())
+        assert ann.annotate_column(["oslo", "rome", "weird"]) == "city"
+
+    def test_uncovered_column_none(self):
+        ann = OntologyAnnotator(_simple_ontology())
+        assert ann.annotate_column(["x", "y"]) is None
+
+
+class TestTableAnnotation:
+    def test_column_types_and_relationships(self):
+        t = Table.from_dict(
+            "geo",
+            {
+                "a": ["oslo", "rome", "lima"],
+                "b": ["norway", "italy", "peru"],
+            },
+        )
+        ann = OntologyAnnotator(_simple_ontology()).annotate(t)
+        assert ann.column_types == {0: "city", 1: "country"}
+        assert ann.relationships == {(0, 1): "located_in"}
+        assert ann.coverage[0] == 1.0
+
+    def test_broken_pairing_still_class_fallback(self):
+        # Values are covered but paired contrary to the facts; the
+        # class-level fallback still names the relation.
+        t = Table.from_dict(
+            "geo",
+            {"a": ["oslo", "rome"], "b": ["italy", "norway"]},
+        )
+        ann = OntologyAnnotator(_simple_ontology()).annotate(t)
+        assert ann.relationships.get((0, 1)) == "located_in"
+
+    def test_numeric_columns_skipped(self):
+        t = Table.from_dict(
+            "geo", {"a": ["oslo", "rome"], "n": ["1", "2"]}
+        )
+        ann = OntologyAnnotator(_simple_ontology()).annotate(t)
+        assert 1 not in ann.column_types
+
+    def test_empty_cells_skipped_in_pairs(self):
+        t = Table.from_dict(
+            "geo", {"a": ["oslo", ""], "b": ["norway", "italy"]}
+        )
+        ann = OntologyAnnotator(_simple_ontology()).annotate(t)
+        assert (0, 1) in ann.relationships
+
+
+class TestSynthesizedKB:
+    def test_repeated_pairs_become_facts(self):
+        tables = [
+            Table.from_dict(f"t{i}", {"a": ["x1", "x2"], "b": ["y1", "y2"]})
+            for i in range(4)
+        ]
+        kb = synthesize_kb(tables, min_pair_count=3)
+        assert kb.relation_between_values("x1", "y1") is not None
+        assert kb.num_facts() == 2
+
+    def test_rare_pairs_excluded(self):
+        tables = [
+            Table.from_dict("t0", {"a": ["x1"], "b": ["y1"]}),
+        ]
+        kb = synthesize_kb(tables, min_pair_count=2)
+        assert kb.num_facts() == 0
+
+    def test_synth_covers_relationship_corpus(self):
+        corpus = make_relationship_corpus(n_queries=2, seed=5)
+        kb = synthesize_kb(list(corpus.lake), min_pair_count=3)
+        # Fact-respecting pairs recur across positive tables, so the
+        # synthesized KB should capture at least some of them.
+        assert kb.num_facts() > 0

@@ -1,0 +1,105 @@
+"""Tests for Auctus-style faceted dataset search."""
+
+import pytest
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table, TableMetadata
+from repro.search.auctus import AuctusSearch, profile_table
+
+
+@pytest.fixture(scope="module")
+def lake():
+    taxi = Table.from_dict(
+        "taxi_trips",
+        {
+            "date": ["2019-01-01", "2019-03-15", "2019-06-30"],
+            "zone": ["midtown", "harlem", "soho"],
+            "fare": ["12.5", "30.0", "8.25"],
+        },
+        TableMetadata(title="taxi trips 2019", tags=["transport"]),
+    )
+    weather = Table.from_dict(
+        "weather_daily",
+        {
+            "date": ["2019-05-01", "2019-07-04", "2020-01-01"],
+            "temp": ["15.0", "28.5", "-2.0"],
+        },
+        TableMetadata(title="daily weather", tags=["climate"]),
+    )
+    zones = Table.from_dict(
+        "zone_lookup",
+        {
+            "zone": ["midtown", "harlem", "soho", "tribeca"],
+            "borough": ["manhattan", "manhattan", "manhattan", "manhattan"],
+        },
+        TableMetadata(title="taxi zone lookup", tags=["transport"]),
+    )
+    static = Table.from_dict(
+        "constants", {"k": ["pi", "e"], "v": ["3.14", "2.72"]}
+    )
+    return DataLake([taxi, weather, zones, static])
+
+
+@pytest.fixture(scope="module")
+def auctus(lake):
+    return AuctusSearch(lake).build()
+
+
+class TestProfiling:
+    def test_temporal_coverage(self, lake):
+        p = profile_table(lake.table("taxi_trips"))
+        assert p.temporal_coverage == ("2019-01-01", "2019-06-30")
+
+    def test_numeric_ranges(self, lake):
+        p = profile_table(lake.table("weather_daily"))
+        assert p.numeric_ranges["temp"] == (-2.0, 28.5)
+
+    def test_entity_columns(self, lake):
+        p = profile_table(lake.table("zone_lookup"))
+        assert "zone" in p.entity_columns
+        assert "borough" not in p.entity_columns  # low distinct ratio
+
+    def test_no_dates_no_coverage(self, lake):
+        assert profile_table(lake.table("constants")).temporal_coverage is None
+
+    def test_covers_dates_intersection(self, lake):
+        p = profile_table(lake.table("taxi_trips"))
+        assert p.covers_dates("2019-06-01", "2019-12-31")
+        assert not p.covers_dates("2020-01-01", "2020-12-31")
+
+
+class TestFacetedSearch:
+    def test_build_required(self, lake):
+        with pytest.raises(RuntimeError):
+            AuctusSearch(lake).search(keywords="taxi")
+
+    def test_keyword_facet(self, auctus):
+        hits = auctus.search(keywords="taxi")
+        names = [h.table for h in hits]
+        assert "taxi_trips" in names and "zone_lookup" in names
+        assert "weather_daily" not in names
+
+    def test_date_facet(self, auctus):
+        hits = auctus.search(date_range=("2020-01-01", "2020-06-01"))
+        assert [h.table for h in hits] == ["weather_daily"]
+
+    def test_numeric_column_facet(self, auctus):
+        hits = auctus.search(numeric_column="fare")
+        assert [h.table for h in hits] == ["taxi_trips"]
+
+    def test_join_facet(self, auctus, lake):
+        hits = auctus.search(joinable_with=lake.table("taxi_trips"),
+                             join_key=1)
+        assert [h.table for h in hits] == ["zone_lookup"]
+
+    def test_conjunctive_facets(self, auctus):
+        hits = auctus.search(keywords="taxi", date_range=("2019-01-01",
+                                                          "2019-12-31"))
+        assert [h.table for h in hits] == ["taxi_trips"]
+
+    def test_no_facets_returns_everything(self, auctus, lake):
+        hits = auctus.search(k=10)
+        assert len(hits) == len(lake)
+
+    def test_profile_lookup(self, auctus):
+        assert auctus.profile("taxi_trips").num_rows == 3

@@ -1,0 +1,136 @@
+"""Tests for the Aurum-style enterprise knowledge graph."""
+
+import pytest
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import ColumnRef, Table
+from repro.graph.aurum import (
+    EDGE_CONTENT,
+    EDGE_PKFK,
+    EDGE_SCHEMA,
+    AurumConfig,
+    EnterpriseKnowledgeGraph,
+)
+
+
+@pytest.fixture(scope="module")
+def ekg():
+    orders = Table.from_dict(
+        "orders",
+        {
+            "customer_id": [f"c{i:03d}" for i in range(20)] * 3,
+            "item": [f"item{i}" for i in range(60)],
+        },
+    )
+    customers = Table.from_dict(
+        "customers",
+        {
+            "customer_id": [f"c{i:03d}" for i in range(20)],
+            "city": [f"city{i % 5}" for i in range(20)],
+        },
+    )
+    unrelated = Table.from_dict(
+        "weather", {"station": [f"st{i}" for i in range(10)]}
+    )
+    lake = DataLake([orders, customers, unrelated])
+    return EnterpriseKnowledgeGraph(lake).build()
+
+
+class TestGraphConstruction:
+    def test_nodes_are_text_columns(self, ekg):
+        assert ColumnRef("orders", 0) in ekg.graph
+        assert ColumnRef("weather", 0) in ekg.graph
+
+    def test_content_edge_between_shared_columns(self, ekg):
+        nbrs = [r for r, _ in ekg.neighbors(ColumnRef("orders", 0))]
+        assert ColumnRef("customers", 0) in nbrs
+
+    def test_schema_edge_from_headers(self, ekg):
+        data = ekg.graph.get_edge_data(
+            ColumnRef("orders", 0), ColumnRef("customers", 0)
+        )
+        assert data["kind"] in (EDGE_CONTENT, EDGE_SCHEMA)
+
+    def test_unrelated_column_isolated(self, ekg):
+        assert ekg.neighbors(ColumnRef("weather", 0)) == []
+
+    def test_neighbors_of_unknown_ref(self, ekg):
+        assert ekg.neighbors(ColumnRef("ghost", 0)) == []
+
+
+class TestQueries:
+    def test_related_tables(self, ekg):
+        related = ekg.related_tables("orders")
+        assert related and related[0][0] == "customers"
+
+    def test_table_path_exists(self, ekg):
+        path = ekg.table_path("orders", "customers")
+        assert path
+        assert path[0].table == "orders"
+        assert path[-1].table == "customers"
+
+    def test_table_path_missing(self, ekg):
+        assert ekg.table_path("orders", "weather") == []
+
+    def test_neighbors_sorted_by_weight(self, ekg):
+        nbrs = ekg.neighbors(ColumnRef("orders", 0))
+        weights = [w for _, w in nbrs]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestSeepingSemantics:
+    def test_semantic_edges_link_disjoint_same_domain(
+        self, union_corpus, union_space
+    ):
+        """With an embedding space, columns from the same domain connect
+        even when their value sets barely overlap."""
+        from repro.graph.aurum import EDGE_SEMANTIC
+
+        g = EnterpriseKnowledgeGraph(
+            union_corpus.lake,
+            AurumConfig(content_threshold=0.95),  # content edges ~disabled
+            space=union_space,
+            semantic_threshold=0.6,
+        ).build()
+        semantic_edges = [
+            (a, b)
+            for a, b, d in g.graph.edges(data=True)
+            if d.get("kind") == EDGE_SEMANTIC
+        ]
+        assert semantic_edges
+        # Semantic edges should connect intra-group tables.
+        intra = sum(
+            1
+            for a, b in semantic_edges
+            if a.table.split("_t")[0] == b.table.split("_t")[0]
+        )
+        assert intra / len(semantic_edges) >= 0.8
+
+    def test_no_space_no_semantic_edges(self, ekg):
+        from repro.graph.aurum import EDGE_SEMANTIC
+
+        kinds = {d.get("kind") for _, _, d in ekg.graph.edges(data=True)}
+        assert EDGE_SEMANTIC not in kinds
+
+
+class TestPkFk:
+    def test_pkfk_candidate_found(self):
+        # "pk" has 60 distinct ids; "fk" references 20 of them repeatedly
+        # with full containment — a classic inclusion dependency.
+        pk = Table.from_dict("dim", {"id": [f"i{i:03d}" for i in range(60)]})
+        fk = Table.from_dict(
+            "fact", {"dim_id": [f"i{i:03d}" for i in range(20)] * 3}
+        )
+        lake = DataLake([pk, fk])
+        g = EnterpriseKnowledgeGraph(
+            lake, AurumConfig(content_threshold=0.2)
+        ).build()
+        pairs = g.pkfk_candidates()
+        assert any(
+            {a.table, b.table} == {"dim", "fact"} for a, b in pairs
+        )
+
+    def test_min_column_size_filters(self):
+        lake = DataLake([Table.from_dict("tiny", {"a": ["only"]})])
+        g = EnterpriseKnowledgeGraph(lake).build()
+        assert g.graph.number_of_nodes() == 0

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.core.cli import build_parser, main
+from repro.datalake.generate import make_union_corpus
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+
+
+@pytest.fixture(scope="module")
+def lake_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("lake")
+    corpus = make_union_corpus(
+        n_groups=2, tables_per_group=3, rows_per_table=25, seed=19
+    )
+    corpus.lake.save_to_directory(directory)
+    return directory, corpus
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_stats(self, lake_dir, capsys):
+        directory, corpus = lake_dir
+        assert main(["stats", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert f"tables: {len(corpus.lake)}" in out
+
+    def test_keyword_over_headers(self, lake_dir, capsys):
+        directory, corpus = lake_dir
+        # CSV round-trips drop metadata, so keyword search works on headers.
+        header = corpus.lake.table(corpus.groups[0][0]).columns[0].name
+        token = header.split("_")[0]  # "concept"
+        assert main(["keyword", str(directory), "--query", token]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_join(self, lake_dir, capsys):
+        directory, corpus = lake_dir
+        qname = corpus.groups[0][0]
+        assert main(
+            ["join", str(directory), "--table", qname, "--column", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.strip(), "join search should print hits"
+        assert qname not in out.split()[0]
+
+    def test_union_tus(self, lake_dir, capsys):
+        directory, corpus = lake_dir
+        qname = corpus.groups[0][0]
+        assert main(
+            ["union", str(directory), "--table", qname, "--method", "tus"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        top = lines[0].split("\t")[0]
+        assert top in corpus.truth[qname]
+
+    def test_union_starmie(self, lake_dir, capsys):
+        directory, corpus = lake_dir
+        qname = corpus.groups[1][0]
+        assert main(["union", str(directory), "--table", qname]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        top = lines[0].split("\t")[0]
+        assert top in corpus.truth[qname]
+
+    def test_navigate(self, lake_dir, capsys):
+        directory, _ = lake_dir
+        assert main(
+            ["navigate", str(directory), "--intent", "concept_000"]
+        ) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_domains(self, lake_dir, capsys):
+        directory, _ = lake_dir
+        assert main(["domains", str(directory), "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "domain 0:" in out
+
+
+class TestSaveRoundTrip:
+    def test_save_and_reload(self, tmp_path):
+        lake = DataLake([Table.from_dict("t1", {"a": ["x", "y"]})])
+        lake.save_to_directory(tmp_path / "out")
+        back = DataLake.from_directory(tmp_path / "out")
+        assert back.table("t1").rows() == [["x"], ["y"]]

@@ -1,0 +1,87 @@
+"""Tests for Starmie-style contextual column encoding."""
+
+import numpy as np
+import pytest
+
+from repro.datalake.table import Column, Table
+from repro.understanding.contextual import (
+    ContextualColumnEncoder,
+    train_contrastive_projection,
+)
+
+
+class TestEncoder:
+    def test_unit_vectors(self, union_corpus, union_space):
+        enc = ContextualColumnEncoder(union_space)
+        table = next(iter(union_corpus.lake))
+        for v in enc.encode_table(table):
+            assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-9)
+
+    def test_bad_context_weight_rejected(self, union_space):
+        with pytest.raises(ValueError):
+            ContextualColumnEncoder(union_space, context_weight=1.0)
+
+    def test_zero_context_weight_is_plain_embedding(
+        self, union_corpus, union_space
+    ):
+        enc = ContextualColumnEncoder(union_space, context_weight=0.0)
+        table = union_corpus.lake.table(union_corpus.groups[0][0])
+        vecs = enc.encode_table(table)
+        col = table.columns[0]
+        plain = union_space.embed_set(col.non_null_values())
+        assert float(np.dot(vecs[0], plain)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_context_changes_representation(self, union_corpus, union_space):
+        """The Starmie property: the same column embeds differently in a
+        different table context."""
+        table = union_corpus.lake.table(union_corpus.groups[0][0])
+        other = union_corpus.lake.table(union_corpus.groups[1][0])
+        col = table.columns[0]
+        enc = ContextualColumnEncoder(union_space, context_weight=0.5)
+        in_own = enc.encode_table(table)[0]
+        moved = Table("hybrid", [col] + list(other.columns[1:]))
+        in_other = enc.encode_table(moved)[0]
+        assert float(np.dot(in_own, in_other)) < 0.999
+
+    def test_encode_column_matches_table(self, union_corpus, union_space):
+        enc = ContextualColumnEncoder(union_space)
+        table = union_corpus.lake.table(union_corpus.groups[0][0])
+        assert np.allclose(
+            enc.encode_column(table, 1), enc.encode_table(table)[1]
+        )
+
+    def test_single_column_table(self, union_space):
+        enc = ContextualColumnEncoder(union_space)
+        t = Table("solo", [Column("c", ["d000_v00000", "d000_v00001"])])
+        vecs = enc.encode_table(t)
+        assert len(vecs) == 1
+
+
+class TestContrastiveTraining:
+    def test_projection_shape(self, union_corpus, union_space):
+        w = train_contrastive_projection(
+            union_space, list(union_corpus.lake), n_epochs=3, seed=1
+        )
+        assert w.shape == (union_space.dim, union_space.dim)
+
+    def test_deterministic(self, union_corpus, union_space):
+        tables = list(union_corpus.lake)
+        a = train_contrastive_projection(union_space, tables, n_epochs=3, seed=2)
+        b = train_contrastive_projection(union_space, tables, n_epochs=3, seed=2)
+        assert np.allclose(a, b)
+
+    def test_too_few_columns_gives_identity(self, union_space):
+        w = train_contrastive_projection(union_space, [], n_epochs=2)
+        assert np.allclose(w, np.eye(union_space.dim))
+
+    def test_projection_keeps_same_column_views_close(
+        self, union_corpus, union_space
+    ):
+        tables = list(union_corpus.lake)
+        w = train_contrastive_projection(
+            union_space, tables, n_epochs=15, seed=3
+        )
+        enc = ContextualColumnEncoder(union_space, projection=w)
+        table = tables[0]
+        vecs = enc.encode_table(table)
+        assert all(np.isfinite(v).all() for v in vecs)

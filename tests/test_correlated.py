@@ -1,0 +1,103 @@
+"""Tests for QCR-based correlated dataset search."""
+
+import pytest
+
+from repro.datalake.generate import make_correlation_corpus
+from repro.search.correlated import CorrelatedSearch, exact_join_correlation
+
+
+@pytest.fixture(scope="module")
+def corr_corpus():
+    return make_correlation_corpus(n_candidates=24, n_keys=300, seed=9)
+
+
+@pytest.fixture(scope="module")
+def search(corr_corpus):
+    return CorrelatedSearch(sketch_size=256).build(corr_corpus.lake)
+
+
+class TestSearch:
+    def test_top_hits_are_truly_correlated(self, corr_corpus, search):
+        res = search.search(
+            corr_corpus.lake.table(corr_corpus.query_table), 0, 1, k=5
+        )
+        assert res
+        for hit in res[:3]:
+            assert corr_corpus.truth[hit.table] >= 0.6
+
+    def test_estimates_track_truth(self, corr_corpus, search):
+        res = search.search(
+            corr_corpus.lake.table(corr_corpus.query_table), 0, 1, k=15
+        )
+        for hit in res:
+            assert abs(hit.correlation) == pytest.approx(
+                corr_corpus.truth[hit.table], abs=0.25
+            )
+
+    def test_ranking_by_abs_correlation(self, corr_corpus, search):
+        res = search.search(
+            corr_corpus.lake.table(corr_corpus.query_table), 0, 1, k=10
+        )
+        vals = [abs(h.correlation) for h in res]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_min_containment_filters(self, corr_corpus, search):
+        res = search.search(
+            corr_corpus.lake.table(corr_corpus.query_table),
+            0,
+            1,
+            k=40,
+            min_containment=0.99,
+        )
+        loose = search.search(
+            corr_corpus.lake.table(corr_corpus.query_table),
+            0,
+            1,
+            k=40,
+            min_containment=0.1,
+        )
+        assert len(res) <= len(loose)
+
+    def test_query_table_excluded(self, corr_corpus, search):
+        res = search.search(
+            corr_corpus.lake.table(corr_corpus.query_table), 0, 1, k=40
+        )
+        assert all(h.table != corr_corpus.query_table for h in res)
+
+
+class TestExactReference:
+    def test_self_join_perfect_correlation(self, corr_corpus):
+        q = corr_corpus.lake.table(corr_corpus.query_table)
+        assert exact_join_correlation(q, 0, 1, q, 0, 1) == pytest.approx(1.0)
+
+    def test_no_shared_keys_zero(self, corr_corpus):
+        from repro.datalake.table import Column, Table
+
+        q = corr_corpus.lake.table(corr_corpus.query_table)
+        other = Table(
+            "zz",
+            [Column("key", ["nope1", "nope2", "nope3"]),
+             Column("x", ["1", "2", "3"])],
+        )
+        assert exact_join_correlation(q, 0, 1, other, 0, 1) == 0.0
+
+
+class TestSketchSizeEffect:
+    def test_bigger_sketch_tighter_estimates(self, corr_corpus):
+        """E9 ablation shape: error shrinks as sketch size grows."""
+        from repro.bench.metrics import mean_absolute_error
+
+        errors = []
+        for n in (16, 512):
+            cs = CorrelatedSearch(sketch_size=n).build(corr_corpus.lake)
+            res = cs.search(
+                corr_corpus.lake.table(corr_corpus.query_table),
+                0,
+                1,
+                k=24,
+                min_containment=0.05,
+            )
+            ests = [abs(h.correlation) for h in res]
+            truths = [corr_corpus.truth[h.table] for h in res]
+            errors.append(mean_absolute_error(ests, truths))
+        assert errors[1] <= errors[0]

@@ -1,0 +1,125 @@
+"""Unit + property tests for the from-scratch CSV reader/writer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import CsvFormatError
+from repro.datalake.csvio import (
+    format_csv_cell,
+    parse_csv_text,
+    read_table_csv,
+    rows_to_csv_text,
+    write_table_csv,
+)
+from repro.datalake.table import Table
+
+
+class TestParse:
+    def test_simple(self):
+        assert parse_csv_text("a,b\n1,2\n") == [["a", "b"], ["1", "2"]]
+
+    def test_quoted_delimiter(self):
+        assert parse_csv_text('"a,b",c\n') == [["a,b", "c"]]
+
+    def test_escaped_quote(self):
+        assert parse_csv_text('"say ""hi""",x\n') == [['say "hi"', "x"]]
+
+    def test_embedded_newline(self):
+        assert parse_csv_text('"line1\nline2",x\n') == [["line1\nline2", "x"]]
+
+    def test_crlf_normalized(self):
+        assert parse_csv_text("a,b\r\n1,2\r\n") == [["a", "b"], ["1", "2"]]
+
+    def test_no_trailing_newline(self):
+        assert parse_csv_text("a,b") == [["a", "b"]]
+
+    def test_empty_fields(self):
+        assert parse_csv_text(",,\n") == [["", "", ""]]
+
+    def test_unterminated_quote_raises(self):
+        with pytest.raises(CsvFormatError):
+            parse_csv_text('"oops')
+
+    def test_mid_field_quote_raises(self):
+        with pytest.raises(CsvFormatError):
+            parse_csv_text('ab"cd",x\n')
+
+    def test_custom_delimiter(self):
+        assert parse_csv_text("a;b\n", delimiter=";") == [["a", "b"]]
+
+
+class TestFormat:
+    def test_plain_cell_unquoted(self):
+        assert format_csv_cell("abc") == "abc"
+
+    def test_delimiter_quoted(self):
+        assert format_csv_cell("a,b") == '"a,b"'
+
+    def test_quote_doubled(self):
+        assert format_csv_cell('a"b') == '"a""b"'
+
+    def test_newline_quoted(self):
+        assert format_csv_cell("a\nb") == '"a\nb"'
+
+
+class TestFileRoundTrip:
+    def test_write_read(self, tmp_path, tiny_table):
+        path = tmp_path / "t.csv"
+        write_table_csv(tiny_table, path)
+        back = read_table_csv(path)
+        assert back.header == tiny_table.header
+        assert back.rows() == tiny_table.rows()
+
+    def test_read_names_from_stem(self, tmp_path, tiny_table):
+        path = tmp_path / "myname.csv"
+        write_table_csv(tiny_table, path)
+        assert read_table_csv(path).name == "myname"
+
+    def test_short_rows_padded(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b,c\n1,2\n", encoding="utf-8")
+        t = read_table_csv(path)
+        assert t.rows() == [["1", "2", ""]]
+
+    def test_long_rows_truncated(self, tmp_path):
+        path = tmp_path / "wide.csv"
+        path.write_text("a,b\n1,2,3\n", encoding="utf-8")
+        assert read_table_csv(path).rows() == [["1", "2"]]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("a,b\n1,2\n,\n3,4\n", encoding="utf-8")
+        assert read_table_csv(path).num_rows == 2
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(CsvFormatError):
+            read_table_csv(path)
+
+
+_cell = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\r"
+    ),
+    max_size=12,
+)
+
+
+@given(st.lists(st.lists(_cell, min_size=3, max_size=3), min_size=1, max_size=12))
+def test_text_round_trip_property(rows):
+    """Property: rows -> CSV text -> rows is the identity."""
+    text = rows_to_csv_text(rows)
+    assert parse_csv_text(text) == [[str(c) for c in r] for r in rows]
+
+
+@given(st.lists(st.lists(_cell.filter(lambda s: s.strip()), min_size=2,
+                         max_size=2), min_size=1, max_size=8))
+def test_table_file_round_trip_property(tmp_path_factory, rows):
+    """Property: table -> file -> table preserves header and cells."""
+    t = Table.from_rows("t", ["h1", "h2"], rows)
+    path = tmp_path_factory.mktemp("csv") / "t.csv"
+    write_table_csv(t, path)
+    back = read_table_csv(path)
+    assert back.rows() == t.rows()

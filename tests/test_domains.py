@@ -1,0 +1,92 @@
+"""Tests for unsupervised domain discovery."""
+
+from repro.datalake.generate import make_union_corpus
+from repro.understanding.domains import (
+    DiscoveredDomain,
+    DomainDiscovery,
+    domain_recovery_score,
+)
+
+
+class TestDiscovery:
+    def test_recovers_planted_domains(self, union_corpus):
+        # min_support=1 recovers full lake domains; the default robust
+        # signature (support >= 2) intentionally keeps only multi-column
+        # values, so evaluate each setting against its own target.
+        discovered = DomainDiscovery(min_support=1).discover(union_corpus.lake)
+        assert discovered
+        pool = union_corpus.pool
+        lake_values_by_domain = []
+        for d in range(16):
+            vocab = set(pool.domain(d).values)
+            present = set()
+            for _, col in union_corpus.lake.iter_text_columns():
+                present |= vocab & col.value_set()
+            if present:
+                lake_values_by_domain.append(present)
+        score = domain_recovery_score(discovered, lake_values_by_domain)
+        assert score >= 0.8
+
+    def test_robust_signature_recovers_shared_values(self, union_corpus):
+        discovered = DomainDiscovery(min_support=2).discover(union_corpus.lake)
+        pool = union_corpus.pool
+        # Target: values appearing in at least two columns of the lake.
+        from collections import Counter
+
+        support = Counter()
+        for _, col in union_corpus.lake.iter_text_columns():
+            support.update(col.value_set())
+        truth = []
+        for d in range(16):
+            vocab = set(pool.domain(d).values)
+            shared = {v for v in vocab if support[v] >= 2}
+            if len(shared) >= 5:
+                truth.append(shared)
+        score = domain_recovery_score(discovered, truth)
+        assert score >= 0.8
+
+    def test_domains_sorted_by_size(self, union_corpus):
+        discovered = DomainDiscovery().discover(union_corpus.lake)
+        sizes = [len(d) for d in discovered]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_representative_in_domain(self, union_corpus):
+        for d in DomainDiscovery().discover(union_corpus.lake):
+            assert d.representative in d.values
+
+    def test_min_domain_size_respected(self, union_corpus):
+        discovered = DomainDiscovery(min_domain_size=10).discover(
+            union_corpus.lake
+        )
+        assert all(len(d) >= 10 for d in discovered)
+
+    def test_columns_recorded(self, union_corpus):
+        for d in DomainDiscovery().discover(union_corpus.lake):
+            assert len(d.columns) >= 2
+
+    def test_higher_support_shrinks_domains(self):
+        corpus = make_union_corpus(
+            n_groups=3, tables_per_group=4, value_overlap=0.5, seed=7
+        )
+        loose = DomainDiscovery(min_support=1).discover(corpus.lake)
+        strict = DomainDiscovery(min_support=3).discover(corpus.lake)
+        if loose and strict:
+            assert sum(len(d) for d in strict) <= sum(len(d) for d in loose)
+
+
+class TestRecoveryScore:
+    def test_empty_truth(self):
+        assert domain_recovery_score([], []) == 0.0
+
+    def test_perfect_recovery(self):
+        dom = DiscoveredDomain(values={"a", "b"}, representative="a")
+        assert domain_recovery_score([dom], [{"a", "b"}]) == 1.0
+
+    def test_partial_recovery(self):
+        dom = DiscoveredDomain(values={"a"}, representative="a")
+        score = domain_recovery_score([dom], [{"a", "b"}])
+        assert 0.0 < score < 1.0
+
+    def test_disjoint_recovery_zero(self):
+        dom = DiscoveredDomain(values={"x"}, representative="x")
+        assert domain_recovery_score([dom], [{"a"}]) == 0.0

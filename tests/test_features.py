@@ -1,0 +1,63 @@
+"""Unit tests for column feature extraction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalake.table import Column
+from repro.understanding.features import FEATURE_NAMES, column_features
+
+
+class TestFeatureVector:
+    def test_length_matches_names(self):
+        f = column_features(Column("x", ["a", "b"]))
+        assert f.shape == (len(FEATURE_NAMES),)
+
+    def test_empty_column_zero_vector(self):
+        f = column_features(Column("x", ["", "  "]))
+        assert np.all(f == 0.0)
+
+    def test_all_finite(self):
+        f = column_features(Column("x", ["a1", "$5.00", "", "2020-01-01"]))
+        assert np.all(np.isfinite(f))
+
+    def test_numeric_column_features(self):
+        f = column_features(Column("x", ["1", "2", "3"]))
+        idx = FEATURE_NAMES.index("frac_numeric_cells")
+        assert f[idx] == 1.0
+
+    def test_distinct_ratio(self):
+        f = column_features(Column("x", ["a", "a", "b", "b"]))
+        assert f[FEATURE_NAMES.index("distinct_ratio")] == 0.5
+
+    def test_special_chars_detected(self):
+        f = column_features(Column("x", ["a@b.com", "c@d.org"]))
+        assert f[FEATURE_NAMES.index("has_at")] == 1.0
+        assert f[FEATURE_NAMES.index("has_dot")] == 1.0
+
+    def test_percent_and_dollar(self):
+        f = column_features(Column("x", ["5%", "$3"]))
+        assert f[FEATURE_NAMES.index("has_percent")] == 0.5
+        assert f[FEATURE_NAMES.index("has_dollar")] == 0.5
+
+    def test_all_same_length_flag(self):
+        same = column_features(Column("x", ["abc", "def"]))
+        diff = column_features(Column("x", ["a", "defg"]))
+        assert same[FEATURE_NAMES.index("all_same_length")] == 1.0
+        assert diff[FEATURE_NAMES.index("all_same_length")] == 0.0
+
+    def test_discriminates_types(self):
+        emails = column_features(
+            Column("x", ["a@b.com", "x@y.org", "q@w.net"])
+        )
+        years = column_features(Column("x", ["1999", "2001", "2020"]))
+        assert not np.allclose(emails, years)
+
+
+@given(st.lists(st.text(max_size=15), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_features_always_finite(values):
+    """Property: feature extraction never produces NaN/inf on any input."""
+    f = column_features(Column("c", values))
+    assert f.shape == (len(FEATURE_NAMES),)
+    assert np.all(np.isfinite(f))

@@ -1,0 +1,205 @@
+"""Tests for the benchmark corpus generators: determinism and ground truth."""
+
+import math
+
+import pytest
+
+from repro.datalake.generate import (
+    DomainPool,
+    generate_typed_values,
+    make_composite_key_corpus,
+    make_correlation_corpus,
+    make_homograph_corpus,
+    make_join_corpus,
+    make_keyword_corpus,
+    make_ml_corpus,
+    make_relationship_corpus,
+    make_stitch_corpus,
+    make_typed_corpus,
+    make_union_corpus,
+    SEMANTIC_TYPES,
+)
+from repro.sketch.minhash import exact_containment
+
+
+class TestDomainPool:
+    def test_zipfian_sizes_decrease(self):
+        pool = DomainPool(n_domains=10, base_size=1000, skew=1.0)
+        sizes = [len(d.values) for d in pool.domains]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_min_size_respected(self):
+        pool = DomainPool(n_domains=50, base_size=100, min_size=30)
+        assert all(len(d.values) >= 30 for d in pool.domains)
+
+    def test_vocabularies_disjoint(self):
+        pool = DomainPool(n_domains=5)
+        v0 = set(pool.domain(0).values)
+        v1 = set(pool.domain(1).values)
+        assert v0.isdisjoint(v1)
+
+    def test_sample_subset_distinct(self):
+        pool = DomainPool(n_domains=3, base_size=50)
+        sub = pool.sample_subset(0, 20)
+        assert len(sub) == len(set(sub)) == 20
+
+    def test_ontology_covers_pool(self):
+        pool = DomainPool(n_domains=3, base_size=50)
+        onto = pool.build_ontology()
+        assert onto.class_of(pool.domain(1).values[0]) == pool.domain(1).concept
+
+
+class TestJoinCorpus:
+    def test_deterministic(self):
+        a = make_join_corpus(n_tables=30, n_queries=2, seed=5)
+        b = make_join_corpus(n_tables=30, n_queries=2, seed=5)
+        assert a.lake.table_names() == b.lake.table_names()
+        assert a.queries[0].containments == b.queries[0].containments
+
+    def test_ground_truth_is_exact(self):
+        corpus = make_join_corpus(n_tables=30, n_queries=2, seed=5)
+        q = corpus.queries[0]
+        qset = set(corpus.lake.column(q.column).value_set())
+        for ref, containment in list(q.containments.items())[:20]:
+            cand = set(corpus.lake.column(ref).value_set())
+            assert containment == pytest.approx(exact_containment(qset, cand))
+
+    def test_planted_levels_span_range(self):
+        corpus = make_join_corpus(n_tables=40, n_queries=2, seed=5)
+        values = list(corpus.queries[0].containments.values())
+        assert max(values) >= 0.95
+        assert any(v < 0.3 for v in values)
+
+    def test_relevant_threshold_filtering(self):
+        corpus = make_join_corpus(n_tables=30, n_queries=2, seed=5)
+        q = corpus.queries[0]
+        assert q.relevant(0.9) <= q.relevant(0.5) <= q.relevant(0.1)
+
+
+class TestUnionCorpus:
+    def test_groups_partition_tables(self):
+        c = make_union_corpus(n_groups=3, tables_per_group=3, seed=2)
+        all_members = [m for g in c.groups.values() for m in g]
+        assert len(all_members) == len(set(all_members)) == 9
+
+    def test_truth_is_symmetric(self):
+        c = make_union_corpus(n_groups=3, tables_per_group=3, seed=2)
+        for name, partners in c.truth.items():
+            for p in partners:
+                assert name in c.truth[p]
+
+    def test_rows_match_request(self):
+        c = make_union_corpus(
+            n_groups=2, tables_per_group=2, rows_per_table=25, seed=2
+        )
+        assert all(t.num_rows == 25 for t in c.lake)
+
+    def test_intra_group_overlap_is_partial(self):
+        c = make_union_corpus(
+            n_groups=2, tables_per_group=3, value_overlap=0.3, seed=2
+        )
+        a, b = c.groups[0][0], c.groups[0][1]
+        ta, tb = c.lake.table(a), c.lake.table(b)
+        # Some shared values by construction, but far from identical.
+        sa = set().union(*(col.value_set() for col in ta.columns))
+        sb = set().union(*(col.value_set() for col in tb.columns))
+        jac = len(sa & sb) / len(sa | sb)
+        assert 0.0 < jac < 0.8
+
+
+class TestRelationshipCorpus:
+    def test_confounders_share_domains_not_facts(self):
+        c = make_relationship_corpus(n_queries=2, seed=4)
+        q = "relq_00"
+        pos = sorted(c.truth[q])[0]
+        neg = sorted(c.confounders[q])[0]
+        qt, nt = c.lake.table(q), c.lake.table(neg)
+        # Confounder columns draw from the same domains as the query.
+        q_dom = c.ontology.annotate_column(qt.columns[0].non_null_values())
+        n_dom = c.ontology.annotate_column(nt.columns[0].non_null_values())
+        assert q_dom == n_dom
+        # But its row pairings are mostly not facts.
+        fact_hits = sum(
+            1
+            for a, b in zip(nt.columns[0].values, nt.columns[1].values)
+            if c.ontology._facts.get((a, b)) is not None
+        )
+        assert fact_hits < 0.2 * nt.num_rows
+        # While positive tables pair via facts.
+        pt = c.lake.table(pos)
+        pos_hits = sum(
+            1
+            for a, b in zip(pt.columns[0].values, pt.columns[1].values)
+            if c.ontology._facts.get((a, b)) is not None
+        )
+        assert pos_hits == pt.num_rows
+
+
+class TestCorrelationCorpus:
+    def test_truth_matches_exact_join(self):
+        from repro.search.correlated import exact_join_correlation
+
+        c = make_correlation_corpus(n_candidates=6, n_keys=200, seed=3)
+        for name, r in c.truth.items():
+            cand = c.lake.table(name)
+            exact = abs(
+                exact_join_correlation(
+                    c.lake.table(c.query_table), 0, 1, cand, 0, 1
+                )
+            )
+            # Cells are serialized at 6 decimals, so allow tiny drift.
+            assert r == pytest.approx(exact, abs=1e-4)
+
+    def test_levels_spread(self):
+        c = make_correlation_corpus(n_candidates=12, seed=3)
+        rs = sorted(c.truth.values())
+        assert rs[0] < 0.3 and rs[-1] > 0.85
+
+
+class TestTypedCorpus:
+    def test_labels_cover_all_columns(self):
+        c = make_typed_corpus(n_tables=10, cols_per_table=4, seed=6)
+        assert len(c.labels) == 10 * 4
+
+    def test_all_types_generable(self):
+        import random
+
+        rng = random.Random(0)
+        for sem in SEMANTIC_TYPES:
+            vals = generate_typed_values(sem, 5, rng)
+            assert len(vals) == 5 and all(v for v in vals)
+
+    def test_unknown_type_rejected(self):
+        import random
+
+        with pytest.raises(ValueError):
+            generate_typed_values("nope", 3, random.Random(0))
+
+
+class TestOtherCorpora:
+    def test_keyword_truth_nonempty(self):
+        c = make_keyword_corpus(n_topics=3, tables_per_topic=4, seed=7)
+        assert all(len(v) == 4 for v in c.truth.values())
+
+    def test_homograph_values_planted(self):
+        c = make_homograph_corpus(n_tables=20, n_homographs=5, seed=7)
+        planted = set()
+        for _, col in c.lake.iter_text_columns():
+            planted |= c.homographs & col.value_set()
+        assert planted == c.homographs
+
+    def test_ml_corpus_target_depends_on_hidden(self):
+        c = make_ml_corpus(n_rows=100, seed=8)
+        assert len(c.informative) == 4
+        base = c.lake.table(c.base_table)
+        y = base.columns[2].numeric_values()
+        assert all(math.isfinite(v) for v in y)
+
+    def test_stitch_facts_consistent(self):
+        c = make_stitch_corpus(n_fragments=4, rows_per_fragment=5, seed=9)
+        assert len(c.facts) == 4 * 5 * 3
+
+    def test_composite_key_levels(self):
+        c = make_composite_key_corpus(n_candidates=12, seed=10)
+        assert min(c.truth.values()) == 0.0
+        assert max(c.truth.values()) == 1.0

@@ -1,0 +1,56 @@
+"""Tests for the experiment harness and bench workloads."""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import JoinWorkload, UnionWorkload
+
+
+class TestExperimentTable:
+    def test_add_row_and_render(self):
+        t = ExperimentTable("demo", ["a", "b"])
+        t.add_row(1, 0.5)
+        out = t.render()
+        assert "demo" in out
+        assert "0.500" in out
+
+    def test_row_width_checked(self):
+        t = ExperimentTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_notes_rendered(self):
+        t = ExperimentTable("demo", ["a"])
+        t.add_row(1)
+        t.note("shape holds")
+        assert "note: shape holds" in t.render()
+
+    def test_column_values(self):
+        t = ExperimentTable("demo", ["x", "y"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column_values("y") == [2, 4]
+
+    def test_show_prints(self, capsys):
+        t = ExperimentTable("demo", ["x"])
+        t.add_row(42)
+        t.show()
+        assert "42" in capsys.readouterr().out
+
+
+class TestWorkloads:
+    def test_join_workload(self, join_corpus):
+        wl = JoinWorkload.from_corpus(join_corpus)
+        assert len(wl.queries) == len(join_corpus.queries)
+        rel = wl.relevant(0, 0.5)
+        assert all(r.table != wl.queries[0][1].table for r in rel)
+
+    def test_join_workload_threshold_monotone(self, join_corpus):
+        wl = JoinWorkload.from_corpus(join_corpus)
+        assert wl.relevant(0, 0.9) <= wl.relevant(0, 0.3)
+
+    def test_union_workload(self, union_corpus):
+        wl = UnionWorkload.from_corpus(union_corpus, queries_per_group=2)
+        assert len(wl.queries) == len(union_corpus.groups) * 2
+        for name, truth in wl.queries:
+            assert name not in truth

@@ -1,0 +1,67 @@
+"""Tests for stable hashing and the universal hash family."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketch.hashing import (
+    MERSENNE_31,
+    UniversalHashFamily,
+    hash_tokens,
+    stable_hash64,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash64("abc") == stable_hash64("abc")
+
+    def test_seed_changes_hash(self):
+        assert stable_hash64("abc", 0) != stable_hash64("abc", 1)
+
+    def test_distinct_tokens_differ(self):
+        assert stable_hash64("abc") != stable_hash64("abd")
+
+    def test_hash_tokens_vectorized(self):
+        hs = hash_tokens(["a", "b", "a"])
+        assert hs.dtype == np.uint64
+        assert hs[0] == hs[2] != hs[1]
+
+
+class TestUniversalFamily:
+    def test_output_range(self):
+        fam = UniversalHashFamily(8, seed=1)
+        out = fam.apply(hash_tokens([f"t{i}" for i in range(100)]))
+        assert out.shape == (8, 100)
+        assert out.max() < MERSENNE_31
+
+    def test_functions_differ(self):
+        fam = UniversalHashFamily(16, seed=1)
+        out = fam.apply(hash_tokens(["x"]))
+        assert len(set(out[:, 0].tolist())) > 8
+
+    def test_apply_one_matches_apply(self):
+        fam = UniversalHashFamily(4, seed=2)
+        v = hash_tokens(["hello"])
+        assert np.array_equal(fam.apply_one(int(v[0])), fam.apply(v)[:, 0])
+
+    def test_seeded_reproducibility(self):
+        a = UniversalHashFamily(4, seed=5)
+        b = UniversalHashFamily(4, seed=5)
+        assert np.array_equal(a.a, b.a) and np.array_equal(a.b, b.b)
+
+
+@given(st.text(max_size=30), st.integers(0, 2**31 - 1))
+def test_stable_hash_is_pure(token, seed):
+    """Property: hashing is a pure function of (token, seed)."""
+    assert stable_hash64(token, seed) == stable_hash64(token, seed)
+
+
+@given(st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=30,
+                unique=True))
+def test_family_collision_rate_low(tokens):
+    """Property: pairwise-independent family rarely collides on small sets."""
+    fam = UniversalHashFamily(1, seed=0)
+    out = fam.apply(hash_tokens(tokens))[0]
+    # With p ~ 2^31 and <= 30 inputs, collisions should be essentially absent.
+    assert len(set(out.tolist())) >= len(tokens) - 1

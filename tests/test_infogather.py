@@ -1,0 +1,116 @@
+"""Tests for InfoGather-style entity augmentation."""
+
+import pytest
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.search.infogather import InfoGather
+
+
+@pytest.fixture(scope="module")
+def lake():
+    t1 = Table.from_dict(
+        "geo_one",
+        {
+            "city": ["oslo", "rome", "lima"],
+            "country": ["norway", "italy", "peru"],
+        },
+    )
+    t2 = Table.from_dict(
+        "geo_two",
+        {
+            "city name": ["oslo", "cairo", "rome"],
+            "country": ["norway", "egypt", "italy"],
+        },
+    )
+    noisy = Table.from_dict(
+        "geo_noisy",
+        {
+            "city": ["oslo", "rome"],
+            "country": ["sweden", "italy"],  # one wrong value
+        },
+    )
+    unrelated = Table.from_dict(
+        "prices", {"item": ["apple", "pear"], "price": ["1", "2"]}
+    )
+    return DataLake([t1, t2, noisy, unrelated])
+
+
+@pytest.fixture(scope="module")
+def gatherer(lake):
+    return InfoGather(lake).build()
+
+
+class TestLifecycle:
+    def test_build_required(self, lake):
+        with pytest.raises(RuntimeError):
+            InfoGather(lake).augment_by_attribute(["oslo"], "country")
+
+
+class TestByAttribute:
+    def test_fills_known_entities(self, gatherer):
+        out = gatherer.augment_by_attribute(
+            ["oslo", "rome", "cairo"], "country"
+        )
+        assert out.values["oslo"] == "norway"
+        assert out.values["rome"] == "italy"
+        assert out.values["cairo"] == "egypt"
+
+    def test_majority_vote_beats_noise(self, gatherer):
+        # geo_noisy says oslo -> sweden; two tables say norway.
+        out = gatherer.augment_by_attribute(["oslo"], "country")
+        assert out.values["oslo"] == "norway"
+        assert out.support["oslo"] == 3
+
+    def test_unknown_entity_uncovered(self, gatherer):
+        out = gatherer.augment_by_attribute(["atlantis"], "country")
+        assert "atlantis" not in out.values
+        assert out.coverage(["atlantis"]) == 0.0
+
+    def test_attribute_name_must_match(self, gatherer):
+        out = gatherer.augment_by_attribute(["oslo"], "elevation")
+        assert out.values == {}
+
+    def test_sources_reported(self, gatherer):
+        out = gatherer.augment_by_attribute(["oslo"], "country")
+        assert "geo_one" in out.sources
+
+    def test_coverage_fraction(self, gatherer):
+        out = gatherer.augment_by_attribute(["oslo", "atlantis"], "country")
+        assert out.coverage(["oslo", "atlantis"]) == 0.5
+
+
+class TestByExample:
+    def test_extends_mapping(self, gatherer):
+        out = gatherer.augment_by_example(
+            entities=["lima", "cairo"],
+            examples={"oslo": "norway", "rome": "italy"},
+        )
+        assert out.values.get("lima") == "peru"
+        assert out.values.get("cairo") == "egypt"
+
+    def test_examples_not_echoed(self, gatherer):
+        out = gatherer.augment_by_example(
+            entities=["oslo", "lima"],
+            examples={"oslo": "norway", "rome": "italy"},
+        )
+        assert "oslo" not in out.values
+
+    def test_min_hits_filters_coincidences(self, gatherer):
+        # A single example matches the noisy table too; with the default
+        # min_example_hits=2, the pair (city -> wrong country) is rejected.
+        out = gatherer.augment_by_example(
+            entities=["lima"],
+            examples={"rome": "italy"},
+            min_example_hits=2,
+        )
+        assert out.values == {}
+
+    def test_header_names_irrelevant(self, gatherer):
+        # geo_two's entity column is "city name" — by-example matching
+        # never looks at headers.
+        out = gatherer.augment_by_example(
+            entities=["cairo"],
+            examples={"oslo": "norway", "rome": "italy"},
+        )
+        assert out.values.get("cairo") == "egypt"

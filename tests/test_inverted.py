@@ -1,0 +1,57 @@
+"""Unit tests for the inverted index."""
+
+from repro.sketch.inverted import InvertedIndex
+
+
+class TestInvertedIndex:
+    def test_insert_and_postings(self):
+        idx = InvertedIndex()
+        idx.insert("t1", ["a", "b"])
+        idx.insert("t2", ["b", "c"])
+        assert idx.postings("b") == ["t1", "t2"]
+        assert idx.postings("a") == ["t1"]
+        assert idx.postings("zzz") == []
+
+    def test_duplicate_tokens_deduped(self):
+        idx = InvertedIndex()
+        idx.insert("t", ["a", "a", "a"])
+        assert idx.size_of("t") == 1
+        assert idx.postings("a") == ["t"]
+
+    def test_document_frequency(self):
+        idx = InvertedIndex()
+        idx.insert("t1", ["a"])
+        idx.insert("t2", ["a"])
+        assert idx.document_frequency("a") == 2
+        assert idx.document_frequency("b") == 0
+
+    def test_len_and_num_tokens(self):
+        idx = InvertedIndex()
+        idx.insert("t1", ["a", "b"])
+        idx.insert("t2", ["b"])
+        assert len(idx) == 2
+        assert idx.num_tokens == 2
+
+    def test_keys(self):
+        idx = InvertedIndex()
+        idx.insert("x", ["a"])
+        assert idx.keys() == ["x"]
+
+    def test_overlaps_exact(self):
+        idx = InvertedIndex()
+        idx.insert("t1", ["a", "b", "c"])
+        idx.insert("t2", ["c", "d"])
+        idx.insert("t3", ["e"])
+        counts = idx.overlaps(["a", "c", "d"])
+        assert counts == {"t1": 2, "t2": 2}
+
+    def test_overlaps_query_duplicates_ignored(self):
+        idx = InvertedIndex()
+        idx.insert("t", ["a"])
+        assert idx.overlaps(["a", "a", "a"]) == {"t": 1}
+
+    def test_postings_sorted_deterministically(self):
+        idx = InvertedIndex()
+        for key in ["z", "a", "m"]:
+            idx.insert(key, ["tok"])
+        assert idx.postings("tok") == ["a", "m", "z"]

@@ -1,0 +1,129 @@
+"""Unit + property tests for JOSIE exact top-k overlap search.
+
+The load-bearing property: JOSIE's early-terminating algorithm returns
+*exactly* the same overlaps as the full merge-list baseline.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.search.josie import JosieIndex
+
+
+def _populated_index(seed=0, n=40):
+    rng = random.Random(seed)
+    universe = [f"u{i}" for i in range(300)]
+    idx = JosieIndex()
+    sets = {}
+    for i in range(n):
+        s = set(rng.sample(universe, rng.randint(5, 120)))
+        sets[f"s{i:02d}"] = s
+        idx.insert(f"s{i:02d}", s)
+    return idx, sets, universe
+
+
+class TestBasics:
+    def test_insert_and_size(self):
+        idx = JosieIndex()
+        idx.insert("a", ["x", "y"])
+        assert len(idx) == 1
+        assert idx.set_of("a") == {"x", "y"}
+
+    def test_duplicate_key_rejected(self):
+        idx = JosieIndex()
+        idx.insert("a", ["x"])
+        with pytest.raises(IndexError_):
+            idx.insert("a", ["y"])
+
+    def test_empty_query(self):
+        idx, _, _ = _populated_index()
+        assert idx.topk([], k=5) == []
+
+    def test_query_with_unseen_tokens(self):
+        idx, _, _ = _populated_index()
+        assert idx.topk(["never-indexed-token"], k=5) == []
+
+    def test_zero_overlap_excluded(self):
+        idx = JosieIndex()
+        idx.insert("a", ["x"])
+        idx.insert("b", ["y"])
+        results = idx.topk(["x"], k=5)
+        assert results == [("a", 1)]
+
+
+class TestExactness:
+    def test_matches_full_merge(self):
+        idx, sets, universe = _populated_index(seed=1)
+        rng = random.Random(2)
+        for trial in range(10):
+            query = set(rng.sample(universe, rng.randint(10, 150)))
+            for k in (1, 5, 10):
+                fast = idx.topk(query, k=k)
+                slow = idx.full_merge_topk(query, k=k)
+                assert fast == slow, (trial, k)
+
+    def test_overlaps_are_true_overlaps(self):
+        idx, sets, universe = _populated_index(seed=3)
+        query = set(universe[:80])
+        for key, overlap in idx.topk(query, k=10):
+            assert overlap == len(query & sets[key])
+
+    def test_k_larger_than_index(self):
+        idx = JosieIndex()
+        idx.insert("a", ["x", "y"])
+        idx.insert("b", ["y"])
+        results = idx.topk(["x", "y"], k=100)
+        assert results == [("a", 2), ("b", 1)]
+
+    def test_deterministic_tie_break(self):
+        idx = JosieIndex()
+        idx.insert("b", ["x"])
+        idx.insert("a", ["x"])
+        assert idx.topk(["x"], k=2) == [("a", 1), ("b", 1)]
+
+
+class TestEfficiency:
+    def test_early_termination_reads_less(self):
+        """JOSIE's point: with small k it shouldn't verify every candidate."""
+        idx, sets, universe = _populated_index(seed=4, n=120)
+        query = set(universe[:150])
+        _, stats = idx.topk_with_stats(query, k=1)
+        assert stats["sets_verified"] < len(idx)
+
+    def test_stats_fields(self):
+        idx, _, universe = _populated_index(seed=5)
+        _, stats = idx.topk_with_stats(set(universe[:30]), k=3)
+        assert stats["query_tokens"] == 30
+        assert stats["posting_entries_read"] > 0
+
+
+@given(
+    st.lists(
+        st.sets(st.integers(0, 60), min_size=1, max_size=30),
+        min_size=1,
+        max_size=15,
+    ),
+    st.sets(st.integers(0, 60), min_size=1, max_size=30),
+    st.integers(1, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_josie_equals_brute_force(indexed, query, k):
+    """Property: for any sets and k, JOSIE == brute-force top-k overlap."""
+    idx = JosieIndex()
+    truth = {}
+    for i, s in enumerate(indexed):
+        key = f"k{i:02d}"
+        tokens = {str(x) for x in s}
+        idx.insert(key, tokens)
+        truth[key] = tokens
+    q = {str(x) for x in query}
+    fast = idx.topk(q, k=k)
+    brute = sorted(
+        ((key, len(q & s)) for key, s in truth.items() if q & s),
+        key=lambda kv: (-kv[1], kv[0]),
+    )[:k]
+    assert fast == brute

@@ -1,0 +1,120 @@
+"""Tests for BM25 metadata keyword search."""
+
+import pytest
+
+from repro.datalake.generate import make_keyword_corpus
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table, TableMetadata
+from repro.search.keyword import KeywordSearchEngine
+
+
+@pytest.fixture(scope="module")
+def kw_corpus():
+    return make_keyword_corpus(n_topics=4, tables_per_topic=6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def engine(kw_corpus):
+    e = KeywordSearchEngine()
+    e.index_lake(kw_corpus.lake)
+    return e
+
+
+class TestSearch:
+    def test_topic_query_finds_topic_tables(self, kw_corpus, engine):
+        hits = engine.search("topic1", k=10)
+        names = {h.table for h in hits}
+        assert names & kw_corpus.truth["topic1"]
+        # Topic-1 tables should dominate the top ranks.
+        top3 = [h.table for h in hits[:3]]
+        assert all(t in kw_corpus.truth["topic1"] for t in top3)
+
+    def test_scores_descending(self, engine):
+        hits = engine.search("topic2 annual report", k=10)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_match_empty(self, engine):
+        assert engine.search("zzz qqq xxx") == []
+
+    def test_multi_term_beats_single(self, engine):
+        multi = engine.search("topic0 agency", k=1)
+        single = engine.search("topic0", k=1)
+        assert multi and single
+        assert multi[0].score >= single[0].score
+
+    def test_k_respected(self, engine):
+        assert len(engine.search("report", k=3)) <= 3
+
+    def test_idf_downweights_common_terms(self, engine):
+        # "open" appears in every table's tags (open-data), so it should
+        # score lower than a discriminative topic term.
+        common = engine.search("open", k=1)
+        rare = engine.search("topic3", k=1)
+        assert rare[0].score > (common[0].score if common else 0.0)
+
+
+class TestClustering:
+    def test_clusters_group_same_schema(self, engine):
+        clusters = engine.search_clustered("topic1", k=10)
+        assert clusters
+        total = sum(len(c) for c in clusters)
+        assert total == len(engine.search("topic1", k=10))
+
+    def test_header_indexing_optional(self, kw_corpus):
+        bare = KeywordSearchEngine(include_headers=False)
+        bare.index_lake(kw_corpus.lake)
+        # Header tokens ("attr"-style) shouldn't be findable now.
+        assert bare.search("attr") == []
+
+
+class TestValueIndexing:
+    def test_octopus_mode_reaches_cell_data(self, kw_corpus):
+        """include_values=True finds tables whose metadata never mentions
+        the query term but whose cells do."""
+        meta_only = KeywordSearchEngine(include_values=False)
+        meta_only.index_lake(kw_corpus.lake)
+        with_values = KeywordSearchEngine(include_values=True)
+        with_values.index_lake(kw_corpus.lake)
+        # Cell values look like d003_v00017 -> token "d003".
+        some_table = next(iter(kw_corpus.lake))
+        cell = some_table.columns[1].non_null_values()[0]
+        token = cell.split("_")[0]
+        assert meta_only.search(token) == []
+        assert with_values.search(token)
+
+    def test_value_token_budget_respected(self, kw_corpus):
+        tiny = KeywordSearchEngine(include_values=True, max_value_tokens=5)
+        tiny.index_lake(kw_corpus.lake)
+        big = KeywordSearchEngine(include_values=True, max_value_tokens=500)
+        big.index_lake(kw_corpus.lake)
+        assert sum(tiny._doc_len.values()) < sum(big._doc_len.values())
+
+
+class TestEdgeCases:
+    def test_empty_lake(self):
+        e = KeywordSearchEngine()
+        e.index_lake(DataLake())
+        assert e.search("anything") == []
+
+    def test_table_without_metadata_still_indexed(self):
+        lake = DataLake(
+            [Table.from_dict("plain", {"alpha": ["1"], "beta": ["2"]})]
+        )
+        e = KeywordSearchEngine()
+        e.index_lake(lake)
+        assert [h.table for h in e.search("alpha")] == ["plain"]
+
+    def test_metadata_description_searchable(self):
+        lake = DataLake(
+            [
+                Table.from_dict(
+                    "doc",
+                    {"c": ["1"]},
+                )
+            ]
+        )
+        lake.table("doc").metadata.description = "quarterly finance summary"
+        e = KeywordSearchEngine()
+        e.index_lake(lake)
+        assert [h.table for h in e.search("finance")] == ["doc"]

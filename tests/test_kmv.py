@@ -1,0 +1,93 @@
+"""Unit + property tests for the KMV distinct-count sketch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.kmv import KMV
+
+
+class TestExactRegime:
+    def test_small_streams_exact(self):
+        sk = KMV(k=64)
+        for i in range(30):
+            sk.update(f"v{i}")
+        assert sk.estimate() == 30
+
+    def test_duplicates_ignored(self):
+        sk = KMV(k=64)
+        for _ in range(5):
+            for i in range(10):
+                sk.update(f"v{i}")
+        assert sk.estimate() == 10
+
+    def test_empty_estimate_zero(self):
+        assert KMV().estimate() == 0.0
+
+    def test_k_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            KMV(k=1)
+
+
+class TestEstimateRegime:
+    @pytest.mark.parametrize("n", [2000, 10000])
+    def test_relative_error_bounded(self, n):
+        sk = KMV(k=512)
+        for i in range(n):
+            sk.update(f"item{i}")
+        # stderr ~ 1/sqrt(k) ~ 4.4%; allow 4 sigma.
+        assert sk.estimate() == pytest.approx(n, rel=0.2)
+
+    def test_larger_k_not_worse_on_average(self):
+        n = 5000
+        errs = []
+        for k in (64, 1024):
+            sk = KMV(k=k)
+            for i in range(n):
+                sk.update(f"item{i}")
+            errs.append(abs(sk.estimate() - n) / n)
+        assert errs[1] <= errs[0] + 0.02
+
+
+class TestMerge:
+    def test_merge_estimates_union(self):
+        a, b = KMV(k=256), KMV(k=256)
+        for i in range(1500):
+            a.update(f"a{i}")
+        for i in range(1500):
+            b.update(f"b{i}")
+        merged = a.merge(b)
+        assert merged.estimate() == pytest.approx(3000, rel=0.25)
+
+    def test_merge_overlapping_streams(self):
+        a, b = KMV(k=256), KMV(k=256)
+        for i in range(1000):
+            a.update(f"x{i}")
+            b.update(f"x{i}")
+        assert a.merge(b).estimate() == pytest.approx(1000, rel=0.25)
+
+    def test_incompatible_merge_rejected(self):
+        with pytest.raises(ValueError):
+            KMV(k=64).merge(KMV(k=128))
+
+
+@given(st.sets(st.text(min_size=1, max_size=8), max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_never_overestimates_below_k(values):
+    """Property: under k distinct values the sketch is exactly |values|."""
+    sk = KMV(k=256)
+    for v in values:
+        sk.update(v)
+    assert sk.estimate() == len(values)
+
+
+@given(st.lists(st.text(min_size=1, max_size=8), max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_order_invariance(stream):
+    """Property: the estimate is independent of stream order."""
+    a, b = KMV(k=64), KMV(k=64)
+    for v in stream:
+        a.update(v)
+    for v in reversed(stream):
+        b.update(v)
+    assert a.estimate() == b.estimate()

@@ -1,0 +1,85 @@
+"""Unit tests for the DataLake catalog."""
+
+import pytest
+
+from repro.core.errors import LakeError
+from repro.datalake.csvio import write_table_csv
+from repro.datalake.lake import DataLake
+from repro.datalake.table import ColumnRef, Table
+
+
+class TestCatalog:
+    def test_add_and_lookup(self, tiny_table):
+        lake = DataLake([tiny_table])
+        assert lake.table("cities") is tiny_table
+        assert "cities" in lake
+        assert len(lake) == 1
+
+    def test_duplicate_rejected(self, tiny_table):
+        lake = DataLake([tiny_table])
+        with pytest.raises(LakeError):
+            lake.add(tiny_table)
+
+    def test_missing_table_raises(self):
+        with pytest.raises(LakeError):
+            DataLake().table("nope")
+
+    def test_remove(self, tiny_table):
+        lake = DataLake([tiny_table])
+        lake.remove("cities")
+        assert len(lake) == 0
+        with pytest.raises(LakeError):
+            lake.remove("cities")
+
+    def test_iteration_yields_tables(self, tiny_lake):
+        names = {t.name for t in tiny_lake}
+        assert names == {"cities", "capitals", "metrics"}
+
+    def test_table_names(self, tiny_lake):
+        assert set(tiny_lake.table_names()) == {"cities", "capitals", "metrics"}
+
+
+class TestColumnAddressing:
+    def test_column_resolution(self, tiny_lake):
+        col = tiny_lake.column(ColumnRef("cities", 0))
+        assert col.name == "city"
+
+    def test_out_of_range_ref(self, tiny_lake):
+        with pytest.raises(LakeError):
+            tiny_lake.column(ColumnRef("cities", 99))
+
+    def test_iter_columns_counts(self, tiny_lake):
+        refs = list(tiny_lake.iter_columns())
+        assert len(refs) == 3 + 2 + 2
+
+    def test_text_numeric_partition(self, tiny_lake):
+        text = {str(r) for r, _ in tiny_lake.iter_text_columns()}
+        nums = {str(r) for r, _ in tiny_lake.iter_numeric_columns()}
+        assert text.isdisjoint(nums)
+        assert len(text) + len(nums) == 7
+        assert "metrics[1]" in nums
+
+
+class TestStats:
+    def test_stats_totals(self, tiny_lake):
+        s = tiny_lake.stats()
+        assert s["tables"] == 3
+        assert s["columns"] == 7
+        assert s["cells"] == 4 * 3 + 3 * 2 + 3 * 2
+
+
+class TestIngestion:
+    def test_from_directory(self, tmp_path, tiny_table):
+        write_table_csv(tiny_table, tmp_path / "one.csv")
+        write_table_csv(
+            Table.from_dict("x", {"a": ["1"]}), tmp_path / "sub_two.csv"
+        )
+        lake = DataLake.from_directory(tmp_path)
+        assert len(lake) == 2
+        assert "one" in lake and "sub_two" in lake
+
+    def test_from_directory_recursive(self, tmp_path, tiny_table):
+        sub = tmp_path / "nested"
+        sub.mkdir()
+        write_table_csv(tiny_table, sub / "deep.csv")
+        assert "deep" in DataLake.from_directory(tmp_path)

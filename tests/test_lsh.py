@@ -1,0 +1,114 @@
+"""Unit + property tests for the banded MinHash LSH index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.sketch.lsh import MinHashLSH, collision_probability, optimal_bands
+from repro.sketch.minhash import MinHash
+
+
+class TestCollisionProbability:
+    def test_monotone_in_similarity(self):
+        ps = [collision_probability(j / 10, 16, 8) for j in range(11)]
+        assert ps == sorted(ps)
+
+    def test_extremes(self):
+        assert collision_probability(0.0, 16, 8) == 0.0
+        assert collision_probability(1.0, 16, 8) == 1.0
+
+    def test_more_bands_more_collisions(self):
+        assert collision_probability(0.5, 32, 4) > collision_probability(
+            0.5, 8, 4
+        )
+
+
+class TestOptimalBands:
+    def test_fits_budget(self):
+        b, r = optimal_bands(128, 0.5)
+        assert b * r <= 128
+
+    def test_high_threshold_wants_long_bands(self):
+        _, r_low = optimal_bands(128, 0.2)
+        _, r_high = optimal_bands(128, 0.9)
+        assert r_high > r_low
+
+    def test_fp_weight_shifts_curve(self):
+        b_fp, r_fp = optimal_bands(128, 0.5, fp_weight=0.9)
+        b_fn, r_fn = optimal_bands(128, 0.5, fp_weight=0.1)
+        # Penalizing false positives favors longer rows (stricter bands).
+        assert r_fp >= r_fn
+
+
+class TestIndex:
+    def test_insert_query_roundtrip(self):
+        lsh = MinHashLSH(threshold=0.5)
+        mh = MinHash.from_values(["a", "b", "c"])
+        lsh.insert("k", mh)
+        assert "k" in lsh
+        assert lsh.query(mh) == ["k"]
+
+    def test_identical_always_found(self):
+        lsh = MinHashLSH(threshold=0.9)
+        for i in range(20):
+            lsh.insert(i, MinHash.from_values([f"set{i}_{j}" for j in range(30)]))
+        probe = MinHash.from_values([f"set7_{j}" for j in range(30)])
+        assert 7 in lsh.query(probe)
+
+    def test_duplicate_key_rejected(self):
+        lsh = MinHashLSH()
+        lsh.insert("k", MinHash.from_values(["a"]))
+        with pytest.raises(IndexError_):
+            lsh.insert("k", MinHash.from_values(["b"]))
+
+    def test_wrong_num_perm_rejected(self):
+        lsh = MinHashLSH(num_perm=128)
+        with pytest.raises(IndexError_):
+            lsh.insert("k", MinHash(num_perm=64))
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(IndexError_):
+            MinHashLSH(threshold=0.0)
+        with pytest.raises(IndexError_):
+            MinHashLSH(threshold=1.5)
+
+    def test_query_verified_filters_and_sorts(self):
+        lsh = MinHashLSH(threshold=0.4)
+        base = [f"v{i}" for i in range(60)]
+        lsh.insert("near", MinHash.from_values(base[:55] + ["x1", "x2"]))
+        lsh.insert("far", MinHash.from_values([f"w{i}" for i in range(60)]))
+        hits = lsh.query_verified(MinHash.from_values(base))
+        keys = [k for k, _ in hits]
+        assert keys == ["near"]
+        assert all(s >= 0.4 for _, s in hits)
+
+    def test_recall_on_similar_population(self):
+        rng = random.Random(3)
+        universe = [f"u{i}" for i in range(200)]
+        lsh = MinHashLSH(threshold=0.5)
+        truth = []
+        query_set = set(universe[:100])
+        qmh = MinHash.from_values(query_set)
+        for i in range(50):
+            size = rng.randint(50, 150)
+            s = set(rng.sample(universe, size))
+            inter = len(s & query_set)
+            jac = inter / len(s | query_set)
+            lsh.insert(i, MinHash.from_values(s))
+            if jac >= 0.7:
+                truth.append(i)
+        found = set(lsh.query(qmh))
+        assert all(t in found for t in truth)
+
+
+@given(st.sets(st.text(min_size=1, max_size=5), min_size=5, max_size=50))
+@settings(max_examples=25, deadline=None)
+def test_no_false_negative_on_identity(values):
+    """Property: querying with an indexed signature always returns its key."""
+    lsh = MinHashLSH(threshold=0.8)
+    mh = MinHash.from_values(values)
+    lsh.insert("self", mh)
+    assert "self" in lsh.query(mh)

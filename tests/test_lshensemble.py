@@ -1,0 +1,122 @@
+"""Unit tests for LSH Ensemble containment search."""
+
+import random
+
+import pytest
+
+from repro.core.errors import IndexError_
+from repro.sketch.lshensemble import LSHEnsemble, containment_to_jaccard
+from repro.sketch.minhash import MinHash, exact_containment
+
+
+def _build_population(seed=0, n=60):
+    """Indexed sets with skewed sizes plus a fixed query set."""
+    rng = random.Random(seed)
+    query = {f"q{i}" for i in range(100)}
+    sets = {}
+    for i in range(n):
+        size = int(20 * (1.35 ** (i % 20)))  # skewed cardinalities
+        own = {f"s{i}_{j}" for j in range(size)}
+        overlap = set(rng.sample(sorted(query), rng.randint(0, 100)))
+        sets[f"set{i:03d}"] = own | overlap
+    return query, sets
+
+
+class TestConversion:
+    def test_bounds(self):
+        assert containment_to_jaccard(0.0, 100, 100) == 0.0
+        assert containment_to_jaccard(1.0, 100, 100) == pytest.approx(1.0)
+
+    def test_monotone_in_threshold(self):
+        js = [containment_to_jaccard(t / 10, 100, 500) for t in range(11)]
+        assert js == sorted(js)
+
+    def test_larger_candidates_need_smaller_jaccard(self):
+        j_small = containment_to_jaccard(0.5, 100, 100)
+        j_large = containment_to_jaccard(0.5, 100, 10000)
+        assert j_large < j_small
+
+    def test_zero_query(self):
+        assert containment_to_jaccard(0.5, 0, 100) == 0.0
+
+
+class TestIndexLifecycle:
+    def test_query_before_index_rejected(self):
+        ens = LSHEnsemble()
+        with pytest.raises(IndexError_):
+            ens.query(MinHash(), 10, 0.5)
+
+    def test_double_index_rejected(self):
+        ens = LSHEnsemble(num_partitions=2)
+        entries = [("a", MinHash.from_values(["x"]), 1)]
+        ens.index(entries)
+        with pytest.raises(IndexError_):
+            ens.index(entries)
+
+    def test_empty_index_rejected(self):
+        with pytest.raises(IndexError_):
+            LSHEnsemble().index([])
+
+    def test_bad_partitions_rejected(self):
+        with pytest.raises(IndexError_):
+            LSHEnsemble(num_partitions=0)
+
+
+class TestRecallPrecision:
+    def test_high_recall_at_threshold(self):
+        query, sets = _build_population()
+        ens = LSHEnsemble(num_partitions=8)
+        ens.index(
+            [
+                (k, MinHash.from_values(s), len(s))
+                for k, s in sorted(sets.items())
+            ]
+        )
+        qmh = MinHash.from_values(query)
+        threshold = 0.5
+        truth = {
+            k for k, s in sets.items() if exact_containment(query, s) >= threshold
+        }
+        found = set(ens.query(qmh, len(query), threshold))
+        recall = len(found & truth) / max(len(truth), 1)
+        assert recall >= 0.9
+
+    def test_verified_results_sorted_and_thresholded(self):
+        query, sets = _build_population(seed=1)
+        ens = LSHEnsemble(num_partitions=4)
+        ens.index(
+            [(k, MinHash.from_values(s), len(s)) for k, s in sorted(sets.items())]
+        )
+        qmh = MinHash.from_values(query)
+        hits = ens.query_verified(qmh, len(query), 0.5)
+        scores = [s for _, s in hits]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s >= 0.5 for s in scores)
+
+    def test_more_partitions_fewer_candidates(self):
+        """The LSH Ensemble headline: partitioning by cardinality prunes
+        false positives relative to a single-partition index."""
+        query, sets = _build_population(seed=2, n=80)
+        entries = [
+            (k, MinHash.from_values(s), len(s)) for k, s in sorted(sets.items())
+        ]
+        qmh = MinHash.from_values(query)
+        sizes = []
+        for parts in (1, 16):
+            ens = LSHEnsemble(num_partitions=parts)
+            ens.index(list(entries))
+            sizes.append(len(ens.query(qmh, len(query), 0.7)))
+        assert sizes[1] <= sizes[0]
+
+    def test_superset_always_candidate(self):
+        query = {f"q{i}" for i in range(50)}
+        superset = query | {f"extra{i}" for i in range(200)}
+        ens = LSHEnsemble(num_partitions=2)
+        ens.index(
+            [
+                ("sup", MinHash.from_values(superset), len(superset)),
+                ("junk", MinHash.from_values({f"z{i}" for i in range(30)}), 30),
+            ]
+        )
+        found = ens.query(MinHash.from_values(query), len(query), 0.8)
+        assert "sup" in found

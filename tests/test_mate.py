@@ -1,0 +1,91 @@
+"""Tests for MATE multi-attribute join search."""
+
+import pytest
+
+from repro.datalake.generate import make_composite_key_corpus
+from repro.search.mate import MateIndex, row_super_key
+
+
+@pytest.fixture(scope="module")
+def mate_corpus():
+    return make_composite_key_corpus(n_candidates=18, n_rows=120, seed=5)
+
+
+@pytest.fixture(scope="module")
+def mate(mate_corpus):
+    idx = MateIndex()
+    idx.index_lake(mate_corpus.lake)
+    return idx
+
+
+class TestSuperKey:
+    def test_superset_property(self):
+        """A row's super key covers the mask of any subset of its cells."""
+        cells = ["a", "b", "c"]
+        full = row_super_key(cells)
+        sub = row_super_key(["a", "c"])
+        assert (full & sub) == sub
+
+    def test_empty_cells_ignored(self):
+        assert row_super_key(["", "  "]) == 0
+
+    def test_deterministic(self):
+        assert row_super_key(["x", "y"]) == row_super_key(["x", "y"])
+
+
+class TestSearch:
+    def test_ranking_matches_truth(self, mate_corpus, mate):
+        res = mate.search(
+            mate_corpus.lake.table(mate_corpus.query_table),
+            list(mate_corpus.key_columns),
+            k=6,
+        )
+        for hit in res:
+            assert hit.score == pytest.approx(
+                mate_corpus.truth[hit.table], abs=1e-9
+            )
+        scores = [h.score for h in res]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_single_column_overlap_not_sufficient(self, mate_corpus, mate):
+        """Candidates sharing individual values but no pairs score low."""
+        res = mate.search(
+            mate_corpus.lake.table(mate_corpus.query_table),
+            list(mate_corpus.key_columns),
+            k=len(mate_corpus.truth),
+        )
+        got = {h.table: h.score for h in res}
+        for name, true_frac in mate_corpus.truth.items():
+            if true_frac == 0.0:
+                assert got.get(name, 0.0) == 0.0
+
+    def test_query_table_excluded(self, mate_corpus, mate):
+        res = mate.search(
+            mate_corpus.lake.table(mate_corpus.query_table),
+            list(mate_corpus.key_columns),
+            k=30,
+        )
+        assert all(h.table != mate_corpus.query_table for h in res)
+
+    def test_empty_key_columns(self, mate_corpus, mate):
+        from repro.datalake.table import Column, Table
+
+        empty = Table("empty_q", [Column("a", ["", ""]), Column("b", ["", ""])])
+        assert mate.search(empty, [0, 1]) == []
+
+    def test_filter_prunes_rows(self, mate_corpus, mate):
+        stats = mate.filter_stats(
+            mate_corpus.lake.table(mate_corpus.query_table),
+            list(mate_corpus.key_columns),
+        )
+        assert stats["rows_passed_filter"] < stats["rows_checked"]
+
+
+class TestHitOrdering:
+    def test_hit_comparison(self):
+        from repro.search.mate import MateHit
+
+        a = MateHit("a", 5, 10)
+        b = MateHit("b", 3, 10)
+        assert a < b
+        assert MateHit("x", 0, 0).score == 0.0

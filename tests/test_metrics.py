@@ -1,0 +1,122 @@
+"""Unit + property tests for retrieval metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.metrics import (
+    average_precision,
+    classification_report,
+    f1_score,
+    kendall_tau,
+    mean_absolute_error,
+    mean_average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        assert precision_at_k(["a", "b"], {"a", "b"}, 2) == 1.0
+        assert recall_at_k(["a", "b"], {"a", "b"}, 2) == 1.0
+
+    def test_half_right(self):
+        assert precision_at_k(["a", "x"], {"a"}, 2) == 0.5
+
+    def test_truncation_at_k(self):
+        assert precision_at_k(["x", "a"], {"a"}, 1) == 0.0
+
+    def test_short_list_normalized_by_length(self):
+        assert precision_at_k(["a"], {"a"}, 5) == 1.0
+
+    def test_empty_inputs(self):
+        assert precision_at_k([], {"a"}, 3) == 0.0
+        assert precision_at_k(["a"], {"a"}, 0) == 0.0
+        assert recall_at_k([], set(), 3) == 1.0
+
+
+class TestAveragePrecision:
+    def test_all_relevant_first(self):
+        assert average_precision(["a", "b", "x"], {"a", "b"}) == 1.0
+
+    def test_relevant_last(self):
+        assert average_precision(["x", "a"], {"a"}) == 0.5
+
+    def test_empty(self):
+        assert average_precision([], {"a"}) == 0.0
+        assert average_precision(["a"], set()) == 0.0
+
+    def test_map_averages(self):
+        runs = [(["a"], {"a"}), (["x", "a"], {"a"})]
+        assert mean_average_precision(runs) == pytest.approx(0.75)
+        assert mean_average_precision([]) == 0.0
+
+
+class TestNdcg:
+    def test_ideal_ranking(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], gains, 3) == pytest.approx(1.0)
+
+    def test_reversed_less_than_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], gains, 3) < 1.0
+
+    def test_empty_gains(self):
+        assert ndcg_at_k(["a"], {}, 3) == 0.0
+
+
+class TestKendall:
+    def test_identical_rankings(self):
+        assert kendall_tau([1, 2, 3], [10, 20, 30]) == 1.0
+
+    def test_reversed(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_degenerate(self):
+        assert kendall_tau([1], [1]) == 0.0
+        assert kendall_tau([1, 2], [1]) == 0.0
+
+
+class TestMisc:
+    def test_f1(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert f1_score(0.0, 0.0) == 0.0
+        assert f1_score(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [1.5, 1.5]) == 0.5
+        assert mean_absolute_error([], []) == 0.0
+
+    def test_classification_report(self):
+        rep = classification_report(["a", "b", "a"], ["a", "b", "b"])
+        assert rep["accuracy"] == pytest.approx(2 / 3)
+        assert 0 <= rep["macro_f1"] <= 1
+
+    def test_classification_report_perfect(self):
+        rep = classification_report(["a", "b"], ["a", "b"])
+        assert rep["accuracy"] == 1.0
+        assert rep["macro_f1"] == 1.0
+
+
+@given(
+    st.lists(st.text(min_size=1, max_size=3), min_size=1, max_size=20,
+             unique=True),
+    st.sets(st.text(min_size=1, max_size=3), min_size=1, max_size=20),
+    st.integers(1, 20),
+)
+@settings(max_examples=50, deadline=None)
+def test_metric_ranges(retrieved, relevant, k):
+    """Property: all ranking metrics stay within [0, 1] (tau in [-1, 1])."""
+    assert 0.0 <= precision_at_k(retrieved, relevant, k) <= 1.0
+    assert 0.0 <= recall_at_k(retrieved, relevant, k) <= 1.0
+    assert 0.0 <= average_precision(retrieved, relevant) <= 1.0
+
+
+@given(st.lists(st.floats(-100, 100), min_size=2, max_size=15))
+@settings(max_examples=40, deadline=None)
+def test_kendall_self_correlation(scores):
+    """Property: any sequence has tau(s, s) in {0, 1} (1 unless all ties)."""
+    tau = kendall_tau(scores, scores)
+    assert tau in (0.0, 1.0) or 0.0 < tau <= 1.0

@@ -1,0 +1,85 @@
+"""Tests for the numpy learners."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ml import LogisticRegression, RidgeRegression, train_test_split
+
+
+class TestRidge:
+    def test_recovers_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 3.0
+        model = RidgeRegression(alpha=1e-6).fit(x, y)
+        assert model.coef_ == pytest.approx([1.0, -2.0, 0.5], abs=1e-3)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-3)
+
+    def test_r2_perfect_fit(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 2))
+        y = x @ np.array([2.0, 1.0])
+        model = RidgeRegression(alpha=1e-8).fit(x, y)
+        assert model.score(x, y) == pytest.approx(1.0, abs=1e-6)
+
+    def test_r2_noise_low(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        model = RidgeRegression().fit(x, y)
+        assert model.score(x, y) < 0.3
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros((1, 2)))
+
+    def test_regularization_shrinks_coefficients(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(50, 2))
+        y = x @ np.array([5.0, -5.0])
+        small = RidgeRegression(alpha=1e-6).fit(x, y)
+        large = RidgeRegression(alpha=1e3).fit(x, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+
+class TestLogistic:
+    def test_separable_data(self):
+        rng = np.random.default_rng(4)
+        x = np.vstack([rng.normal(-2, 1, (50, 2)), rng.normal(2, 1, (50, 2))])
+        y = np.array([0] * 50 + [1] * 50)
+        model = LogisticRegression(n_epochs=400).fit(x, y)
+        assert model.accuracy(x, y) >= 0.95
+
+    def test_proba_in_unit_interval(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(30, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = LogisticRegression(n_epochs=50).fit(x, y)
+        p = model.predict_proba(x)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+
+class TestSplit:
+    def test_sizes(self):
+        x = np.arange(100).reshape(-1, 1)
+        y = np.arange(100)
+        xtr, xte, ytr, yte = train_test_split(x, y, test_fraction=0.3)
+        assert len(xtr) == 70 and len(xte) == 30
+
+    def test_deterministic(self):
+        x = np.arange(50).reshape(-1, 1)
+        y = np.arange(50)
+        a = train_test_split(x, y, seed=7)
+        b = train_test_split(x, y, seed=7)
+        assert np.array_equal(a[0], b[0])
+
+    def test_partition_is_complete(self):
+        x = np.arange(20).reshape(-1, 1)
+        y = np.arange(20)
+        xtr, xte, _, _ = train_test_split(x, y)
+        seen = sorted(np.concatenate([xtr, xte]).ravel().tolist())
+        assert seen == list(range(20))

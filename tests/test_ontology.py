@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic ontology / KB substrate."""
+
+import pytest
+
+from repro.datalake.generate import DomainPool
+from repro.datalake.ontology import Ontology, subsample_ontology
+
+
+@pytest.fixture
+def onto() -> Ontology:
+    o = Ontology()
+    o.add_class("thing")
+    o.add_class("city", parent="thing")
+    o.add_class("country", parent="thing")
+    o.add_value("oslo", "city")
+    o.add_value("rome", "city")
+    o.add_value("norway", "country")
+    o.add_relation("capital_of", "city", "country")
+    o.add_fact("oslo", "norway", "capital_of")
+    return o
+
+
+class TestHierarchy:
+    def test_class_of(self, onto):
+        assert onto.class_of("OSLO") == "city"
+        assert onto.class_of("unknown") is None
+
+    def test_unknown_parent_rejected(self):
+        o = Ontology()
+        with pytest.raises(KeyError):
+            o.add_class("x", parent="missing")
+
+    def test_unknown_class_for_value_rejected(self, onto):
+        with pytest.raises(KeyError):
+            onto.add_value("x", "missing")
+
+    def test_ancestors_leaf_first(self, onto):
+        assert onto.ancestors("city") == ["city", "thing"]
+
+    def test_classes_of_with_hierarchy(self, onto):
+        assert onto.classes_of("oslo") == {"city", "thing"}
+        assert onto.classes_of("oslo", with_ancestors=False) == {"city"}
+
+    def test_classes_listing(self, onto):
+        assert set(onto.classes()) == {"thing", "city", "country"}
+
+
+class TestRelations:
+    def test_class_level_relation(self, onto):
+        assert onto.relation_between_classes("city", "country") == "capital_of"
+        assert onto.relation_between_classes("country", "city") == "capital_of"
+        assert onto.relation_between_classes("city", "city") is None
+
+    def test_value_level_fact(self, onto):
+        assert onto.relation_between_values("oslo", "norway") == "capital_of"
+        assert onto.relation_between_values("norway", "oslo") == "capital_of"
+
+    def test_value_level_class_fallback(self, onto):
+        # rome->norway is not a fact but the classes relate.
+        assert onto.relation_between_values("rome", "norway") == "capital_of"
+
+    def test_uncovered_value_no_relation(self, onto):
+        assert onto.relation_between_values("atlantis", "norway") is None
+
+    def test_num_facts(self, onto):
+        assert onto.num_facts() == 1
+
+
+class TestAnnotation:
+    def test_coverage(self, onto):
+        assert onto.coverage_of(["oslo", "mystery"]) == pytest.approx(0.5)
+        assert onto.coverage_of([]) == 0.0
+
+    def test_annotate_majority(self, onto):
+        assert onto.annotate_column(["oslo", "rome", "xx"]) == "city"
+
+    def test_annotate_uncovered_none(self, onto):
+        assert onto.annotate_column(["xx", "yy"]) is None
+
+    def test_annotate_low_support_none(self, onto):
+        # city and country each 50% of covered values; min_support 0.6 fails.
+        res = onto.annotate_column(["oslo", "norway"], min_support=0.6)
+        assert res is None
+
+
+class TestSubsample:
+    def test_coverage_knob(self):
+        pool = DomainPool(n_domains=4, base_size=400, seed=3)
+        full = pool.build_ontology()
+        values = [v for d in pool.domains for v in d.values]
+        half = subsample_ontology(full, coverage=0.5, seed=3)
+        cov = half.coverage_of(values)
+        assert 0.4 < cov < 0.6
+        assert subsample_ontology(full, 0.0).coverage_of(values) == 0.0
+        assert subsample_ontology(full, 1.0).coverage_of(values) == 1.0
+
+    def test_subsample_keeps_classes_and_relations(self):
+        pool = DomainPool(n_domains=3, base_size=100, seed=3)
+        full = pool.build_ontology()
+        sub = subsample_ontology(full, coverage=0.5, seed=1)
+        assert set(sub.classes()) == set(full.classes())
+        a = pool.domain(0).concept
+        b = pool.domain(1).concept
+        assert sub.relation_between_classes(a, b) is not None
+
+    def test_subsample_drops_facts_of_uncovered_values(self):
+        o = Ontology()
+        o.add_class("c")
+        o.add_value("a", "c")
+        o.add_value("b", "c")
+        o.add_fact("a", "b", "r")
+        empty = subsample_ontology(o, coverage=0.0)
+        assert empty.num_facts() == 0

@@ -1,0 +1,107 @@
+"""Tests for data lake organization and the navigation cost model."""
+
+import numpy as np
+import pytest
+
+from repro.graph.organize import (
+    Organization,
+    flat_navigation_cost,
+)
+
+
+def _clustered_vectors(n_clusters=4, per_cluster=8, dim=16, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_clusters, dim)) * 4
+    vectors = {}
+    for c in range(n_clusters):
+        for i in range(per_cluster):
+            name = f"c{c}_t{i}"
+            vectors[name] = centers[c] + rng.normal(size=dim) * 0.3
+    return vectors
+
+
+@pytest.fixture(scope="module")
+def org_and_vectors():
+    vectors = _clustered_vectors()
+    return Organization.build(vectors, branching=4, max_leaf_size=4), vectors
+
+
+class TestBuild:
+    def test_root_covers_all(self, org_and_vectors):
+        org, vectors = org_and_vectors
+        assert sorted(org.root.tables) == sorted(vectors)
+
+    def test_leaf_sizes_bounded_or_unsplittable(self, org_and_vectors):
+        org, _ = org_and_vectors
+
+        def leaves(node):
+            if node.is_leaf:
+                yield node
+            for c in node.children:
+                yield from leaves(c)
+
+        # Allow equality-degenerate leaves, but most should respect the cap.
+        sizes = [len(l.tables) for l in leaves(org.root)]
+        assert max(sizes) <= 8
+
+    def test_children_partition_parent(self, org_and_vectors):
+        org, _ = org_and_vectors
+
+        def check(node):
+            if not node.children:
+                return
+            merged = sorted(t for c in node.children for t in c.tables)
+            assert merged == sorted(node.tables)
+            for c in node.children:
+                check(c)
+
+        check(org.root)
+
+    def test_depth_and_node_count(self, org_and_vectors):
+        org, _ = org_and_vectors
+        assert org.depth() >= 2
+        assert org.num_nodes() > 1
+
+    def test_deterministic(self):
+        vectors = _clustered_vectors(seed=3)
+        a = Organization.build(vectors, seed=5)
+        b = Organization.build(vectors, seed=5)
+
+        def shape(node):
+            return (sorted(node.tables), [shape(c) for c in node.children])
+
+        assert shape(a.root) == shape(b.root)
+
+
+class TestNavigation:
+    def test_navigate_reaches_own_cluster(self, org_and_vectors):
+        org, vectors = org_and_vectors
+        hits = 0
+        for name, v in vectors.items():
+            found, _steps = org.navigation_success(v, name)
+            hits += found
+        assert hits / len(vectors) >= 0.8
+
+    def test_navigation_cheaper_than_flat(self, org_and_vectors):
+        """The E11 headline shape: organized navigation beats the flat list."""
+        org, vectors = org_and_vectors
+        probes = [(v, name) for name, v in vectors.items()]
+        cost = org.expected_cost(probes)
+        assert cost < flat_navigation_cost(len(vectors))
+
+    def test_expected_cost_empty_probes(self, org_and_vectors):
+        org, _ = org_and_vectors
+        assert org.expected_cost([]) == 0.0
+
+    def test_miss_penalty_used(self, org_and_vectors):
+        org, vectors = org_and_vectors
+        rng = np.random.default_rng(9)
+        # An intent pointing nowhere yields either a miss or a full scan of
+        # some leaf; with penalty 0 the cost must drop or stay equal.
+        probe = [(rng.normal(size=16), "nonexistent")]
+        hi = org.expected_cost(probe, miss_penalty=1000)
+        lo = org.expected_cost(probe, miss_penalty=0)
+        assert hi >= lo
+
+    def test_flat_cost_half_of_lake(self):
+        assert flat_navigation_cost(100) == 50.0

@@ -1,0 +1,93 @@
+"""Tests for PEXESO fuzzy joinable search."""
+
+import pytest
+
+from repro.search.pexeso import (
+    PexesoConfig,
+    PexesoIndex,
+    exact_fuzzy_join_fraction,
+)
+
+
+@pytest.fixture(scope="module")
+def pexeso(union_corpus, union_space):
+    return PexesoIndex(
+        union_space, PexesoConfig(tau=0.7, sigma=0.4)
+    ).build(union_corpus.lake)
+
+
+class TestSearch:
+    def test_search_before_build_rejected(self, union_space):
+        idx = PexesoIndex(union_space)
+        from repro.datalake.table import Column
+
+        with pytest.raises(RuntimeError):
+            idx.search(Column("q", ["a"]))
+
+    def test_finds_same_domain_columns(self, union_corpus, pexeso):
+        qname = union_corpus.groups[0][0]
+        qtable = union_corpus.lake.table(qname)
+        res = pexeso.search(qtable.columns[0], k=8, exclude_table=qname)
+        assert res
+        group_tables = union_corpus.truth[qname]
+        assert any(r.ref.table in group_tables for r in res)
+
+    def test_exclude_table(self, union_corpus, pexeso):
+        qname = union_corpus.groups[0][0]
+        qtable = union_corpus.lake.table(qname)
+        res = pexeso.search(qtable.columns[0], k=10, exclude_table=qname)
+        assert all(r.ref.table != qname for r in res)
+
+    def test_scores_meet_sigma(self, union_corpus, pexeso):
+        qname = union_corpus.groups[1][0]
+        qtable = union_corpus.lake.table(qname)
+        for r in pexeso.search(qtable.columns[0], k=10):
+            assert r.score >= pexeso.config.sigma
+
+    def test_oov_query_returns_empty(self, union_corpus, pexeso):
+        from repro.datalake.table import Column
+
+        res = pexeso.search(Column("q", ["never-seen-1", "never-seen-2"]))
+        assert res == []
+
+    def test_block_agrees_with_exact_verification(
+        self, union_corpus, union_space, pexeso
+    ):
+        """Scores reported by blocked search equal brute-force fractions."""
+        qname = union_corpus.groups[0][0]
+        qtable = union_corpus.lake.table(qname)
+        res = pexeso.search(qtable.columns[0], k=3, exclude_table=qname)
+        for r in res[:2]:
+            cand_col = union_corpus.lake.column(r.ref)
+            exact = exact_fuzzy_join_fraction(
+                union_space,
+                set(qtable.columns[0].value_set()),
+                set(cand_col.value_set()),
+                tau=pexeso.config.tau,
+            )
+            assert r.score == pytest.approx(exact, abs=0.05)
+
+
+class TestFuzzyVsExact:
+    def test_fuzzy_recovers_disjoint_same_domain(
+        self, union_corpus, union_space
+    ):
+        """E19 shape: equi-join containment can be ~0 while fuzzy matching
+        by embedding finds the same-domain column."""
+        qname, cname = union_corpus.groups[0][0], union_corpus.groups[0][1]
+        q = union_corpus.lake.table(qname).columns[0]
+        # Align by ontology concept.
+        onto = union_corpus.ontology
+        q_cls = onto.annotate_column(q.non_null_values())
+        cand_table = union_corpus.lake.table(cname)
+        for ci, ccol in cand_table.text_columns():
+            if onto.annotate_column(ccol.non_null_values()) == q_cls:
+                qset = set(q.value_set())
+                cset = set(ccol.value_set())
+                exact_containment = len(qset & cset) / len(qset)
+                fuzzy = exact_fuzzy_join_fraction(
+                    union_space, qset, cset, tau=0.7
+                )
+                assert fuzzy >= exact_containment
+                return
+        pytest.fail("no aligned candidate column")

@@ -1,0 +1,84 @@
+"""Tests for Juneau-style data profiles."""
+
+import pytest
+
+from repro.datalake.table import Column, Table
+from repro.datalake.types import DataType
+from repro.understanding.profiles import ColumnProfile, TableProfile
+
+
+class TestColumnProfile:
+    def test_text_profile_fields(self):
+        p = ColumnProfile.from_column(Column("c", ["abc", "de", "abc", ""]))
+        assert p.dtype is DataType.TEXT
+        assert p.row_count == 4
+        assert p.distinct_count == 2
+        assert p.null_fraction == pytest.approx(0.25)
+        assert p.minhash is not None
+
+    def test_numeric_profile_fields(self):
+        p = ColumnProfile.from_column(Column("n", ["1", "2", "3"]))
+        assert p.dtype is DataType.INTEGER
+        assert p.minhash is None
+        assert p.numeric_mean == pytest.approx(2.0)
+
+    def test_same_content_similarity_one(self):
+        a = ColumnProfile.from_column(Column("a", ["x", "y", "z"] * 5))
+        b = ColumnProfile.from_column(Column("b", ["z", "x", "y"] * 3))
+        assert a.similarity(b) > 0.9
+
+    def test_disjoint_text_low_similarity(self):
+        a = ColumnProfile.from_column(Column("a", [f"a{i}" for i in range(20)]))
+        b = ColumnProfile.from_column(Column("b", [f"b{i}" for i in range(20)]))
+        assert a.similarity(b) < 0.5
+
+    def test_numeric_similarity_by_distribution(self):
+        a = ColumnProfile.from_column(Column("a", ["10", "11", "12", "13"]))
+        near = ColumnProfile.from_column(Column("b", ["11", "12", "13", "14"]))
+        far = ColumnProfile.from_column(Column("c", ["1000", "1100", "1200", "900"]))
+        assert a.similarity(near) > a.similarity(far)
+
+    def test_mixed_types_zero(self):
+        text = ColumnProfile.from_column(Column("t", ["abc", "def"]))
+        num = ColumnProfile.from_column(Column("n", ["1", "2"]))
+        assert text.similarity(num) == 0.0
+
+
+class TestTableProfile:
+    def test_self_relatedness_high(self):
+        t = Table.from_dict(
+            "t", {"a": ["x", "y", "z"], "n": ["1", "2", "3"]}
+        )
+        p = TableProfile.from_table(t)
+        assert p.relatedness(p) > 0.9
+
+    def test_related_tables_score_higher(self):
+        base = Table.from_dict(
+            "base", {"city": ["oslo", "rome", "lima"], "v": ["1", "2", "3"]}
+        )
+        related = Table.from_dict(
+            "rel", {"place": ["rome", "lima", "cairo"], "w": ["2", "3", "4"]}
+        )
+        unrelated = Table.from_dict(
+            "far", {"gene": ["brca1", "tp53"], "score": ["900", "800"]}
+        )
+        pb = TableProfile.from_table(base)
+        assert pb.relatedness(TableProfile.from_table(related)) > pb.relatedness(
+            TableProfile.from_table(unrelated)
+        )
+
+    def test_empty_table_zero(self):
+        empty = TableProfile.from_table(Table("e", []))
+        other = TableProfile.from_table(
+            Table.from_dict("o", {"a": ["x"]})
+        )
+        assert empty.relatedness(other) == 0.0
+
+    def test_normalization_by_smaller_width(self):
+        narrow = Table.from_dict("n", {"a": ["x", "y"]})
+        wide = Table.from_dict(
+            "w", {"a": ["x", "y"], "b": ["p", "q"], "c": ["1", "2"]}
+        )
+        pn = TableProfile.from_table(narrow)
+        pw = TableProfile.from_table(wide)
+        assert 0.0 <= pn.relatedness(pw) <= 1.0

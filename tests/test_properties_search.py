@@ -1,0 +1,116 @@
+"""Cross-cutting property-based tests on search invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.organize import Organization
+from repro.search.aggregate import table_unionability
+from repro.sketch.lshensemble import LSHEnsemble
+from repro.sketch.minhash import MinHash
+
+
+@given(
+    st.lists(
+        st.sets(st.integers(0, 80), min_size=2, max_size=40),
+        min_size=2,
+        max_size=12,
+    ),
+    st.integers(0, 11),
+)
+@settings(max_examples=25, deadline=None)
+def test_ensemble_identity_recall(sets, query_idx):
+    """Property: querying LSH Ensemble with an indexed set's own signature
+    at threshold 1.0 returns that set (exact self-containment)."""
+    query_idx = query_idx % len(sets)
+    entries = []
+    for i, s in enumerate(sets):
+        tokens = {str(x) for x in s}
+        entries.append((i, MinHash.from_values(tokens), len(tokens)))
+    ens = LSHEnsemble(num_partitions=4)
+    ens.index(entries)
+    q_tokens = {str(x) for x in sets[query_idx]}
+    found = ens.query(
+        MinHash.from_values(q_tokens), len(q_tokens), 1.0
+    )
+    assert query_idx in found
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(1, 6),
+    st.integers(0, 10_000),
+    st.sampled_from(["hungarian", "greedy"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_table_unionability_normalized(nq, nc, seed, method):
+    """Property: normalized table unionability of a [0,1] score matrix lies
+    in [0, 1], and equals 0 iff the matrix is all zeros."""
+    rng = np.random.default_rng(seed)
+    scores = rng.uniform(0, 1, size=(nq, nc))
+    total, pairs = table_unionability(scores, method=method)
+    assert 0.0 <= total <= 1.0 + 1e-9
+    if scores.max() > 0:
+        assert total > 0
+        assert pairs
+
+
+@given(st.integers(4, 30), st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_organization_partitions_and_navigates(n, seed):
+    """Property: any organization partitions its tables at every level and
+    greedy navigation always terminates at a leaf of the hierarchy."""
+    rng = np.random.default_rng(seed)
+    vectors = {f"t{i}": rng.normal(size=6) for i in range(n)}
+    org = Organization.build(vectors, branching=3, max_leaf_size=3, seed=seed)
+
+    def check(node):
+        if node.children:
+            merged = sorted(t for c in node.children for t in c.tables)
+            assert merged == sorted(node.tables)
+            for c in node.children:
+                check(c)
+
+    check(org.root)
+    path, tables = org.navigate(rng.normal(size=6))
+    assert path[0] == org.root.node_id
+    assert set(tables) <= set(org.root.tables)
+    assert len(tables) >= 1
+
+
+@given(
+    st.sets(st.text(min_size=1, max_size=5), min_size=1, max_size=30),
+    st.sets(st.text(min_size=1, max_size=5), min_size=1, max_size=30),
+)
+@settings(max_examples=30, deadline=None)
+def test_minhash_merge_monotone(a, b):
+    """Property: merged signatures estimate union-vs-part Jaccard at least
+    as large as the disjoint-union lower bound |A|/(|A|+|B|) - slack."""
+    ma = MinHash.from_values(a)
+    mb = MinHash.from_values(b)
+    merged = ma.merge(mb)
+    j = merged.jaccard(ma)
+    lower = len(a) / (len(a) + len(b))
+    assert j >= lower - 0.35  # 4-sigma MinHash slack at 128 perms
+
+
+class TestResultOrderingContracts:
+    def test_column_result_total_order(self):
+        from repro.datalake.table import ColumnRef
+        from repro.search.results import ColumnResult, top_k
+
+        results = [
+            ColumnResult(ColumnRef("b", 0), 0.5),
+            ColumnResult(ColumnRef("a", 0), 0.5),
+            ColumnResult(ColumnRef("c", 0), 0.9),
+        ]
+        ranked = top_k(results, 3)
+        assert ranked[0].score == pytest.approx(0.9)
+        assert [r.ref.table for r in ranked[1:]] == ["a", "b"]
+
+    def test_table_result_total_order(self):
+        from repro.search.results import TableResult, top_k
+
+        results = [TableResult("b", 1.0), TableResult("a", 1.0)]
+        assert [r.table for r in top_k(results, 2)] == ["a", "b"]

@@ -1,0 +1,74 @@
+"""Tests for query-time (lazy, cached) table annotation."""
+
+import pytest
+
+from repro.datalake.generate import make_relationship_corpus
+from repro.understanding.querytime import (
+    QueryTimeAnnotator,
+    batch_annotate,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_relationship_corpus(n_queries=2, seed=29)
+
+
+class TestLazyAnnotation:
+    def test_matches_batch_results(self, corpus):
+        lazy = QueryTimeAnnotator(corpus.lake, corpus.ontology)
+        batch = batch_annotate(corpus.lake, corpus.ontology)
+        for name in list(corpus.lake.table_names())[:5]:
+            a = lazy.annotate(name)
+            b = batch[name]
+            assert a.column_types == b.column_types
+            assert a.relationships == b.relationships
+
+    def test_cache_hit_on_repeat(self, corpus):
+        lazy = QueryTimeAnnotator(corpus.lake, corpus.ontology)
+        name = corpus.lake.table_names()[0]
+        first = lazy.annotate(name)
+        second = lazy.annotate(name)
+        assert first is second
+        assert lazy.stats.requests == 2
+        assert lazy.stats.cache_hits == 1
+        assert lazy.stats.annotated == 1
+
+    def test_only_touched_tables_annotated(self, corpus):
+        lazy = QueryTimeAnnotator(corpus.lake, corpus.ontology)
+        touched = corpus.lake.table_names()[:3]
+        lazy.annotate_many(touched)
+        assert lazy.stats.annotated == 3
+        assert set(lazy.cached_tables()) == set(touched)
+
+    def test_lru_eviction(self, corpus):
+        lazy = QueryTimeAnnotator(corpus.lake, corpus.ontology, capacity=2)
+        names = corpus.lake.table_names()[:3]
+        lazy.annotate_many(names)
+        assert lazy.stats.evictions == 1
+        assert names[0] not in lazy.cached_tables()
+        # Re-annotating the evicted table is a miss, not a hit.
+        lazy.annotate(names[0])
+        assert lazy.stats.annotated == 4
+
+    def test_lru_order_updated_on_hit(self, corpus):
+        lazy = QueryTimeAnnotator(corpus.lake, corpus.ontology, capacity=2)
+        names = corpus.lake.table_names()[:3]
+        lazy.annotate(names[0])
+        lazy.annotate(names[1])
+        lazy.annotate(names[0])  # refresh 0
+        lazy.annotate(names[2])  # evicts 1, not 0
+        assert names[0] in lazy.cached_tables()
+        assert names[1] not in lazy.cached_tables()
+
+    def test_bad_capacity(self, corpus):
+        with pytest.raises(ValueError):
+            QueryTimeAnnotator(corpus.lake, corpus.ontology, capacity=0)
+
+    def test_hit_rate(self, corpus):
+        lazy = QueryTimeAnnotator(corpus.lake, corpus.ontology)
+        assert lazy.stats.hit_rate == 0.0
+        name = corpus.lake.table_names()[0]
+        lazy.annotate(name)
+        lazy.annotate(name)
+        assert lazy.stats.hit_rate == 0.5

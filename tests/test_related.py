@@ -1,0 +1,121 @@
+"""Tests for Das Sarma-style related-table search."""
+
+import pytest
+
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from repro.search.related import (
+    RelatedTableSearch,
+    detect_subject_column,
+)
+
+
+@pytest.fixture(scope="module")
+def lake():
+    query = Table.from_dict(
+        "eu_cities",
+        {
+            "city": ["oslo", "rome", "madrid", "paris"],
+            "country": ["norway", "italy", "spain", "france"],
+        },
+    )
+    more_entities = Table.from_dict(
+        "more_eu_cities",
+        {
+            "city": ["berlin", "vienna", "lisbon", "oslo"],
+            "country": ["germany", "austria", "portugal", "norway"],
+        },
+    )
+    more_attrs = Table.from_dict(
+        "city_details",
+        {
+            "city": ["oslo", "rome", "madrid", "paris"],
+            "elevation": ["23", "21", "667", "35"],
+            "mayor": ["a", "b", "c", "d"],
+        },
+    )
+    duplicate = Table.from_dict(
+        "same_cities",
+        {
+            "city": ["oslo", "rome", "madrid", "paris"],
+            "country": ["norway", "italy", "spain", "france"],
+        },
+    )
+    unrelated = Table.from_dict(
+        "genes", {"gene": ["brca1", "tp53"], "score": ["1", "2"]}
+    )
+    return DataLake([query, more_entities, more_attrs, duplicate, unrelated])
+
+
+@pytest.fixture(scope="module")
+def search(lake):
+    return RelatedTableSearch(lake).build()
+
+
+class TestSubjectDetection:
+    def test_leftmost_distinct_text_column(self):
+        t = Table.from_dict(
+            "t",
+            {
+                "category": ["a", "a", "b", "b"],  # low distinct ratio
+                "entity": ["w", "x", "y", "z"],
+            },
+        )
+        assert detect_subject_column(t) == 1
+
+    def test_no_text_columns(self):
+        t = Table.from_dict("n", {"x": ["1", "2"], "y": ["3", "4"]})
+        assert detect_subject_column(t) is None
+
+    def test_subject_of_indexed_tables(self, search):
+        assert search.subject_of("eu_cities") == 0
+        assert search.subject_of("genes") == 0
+
+
+class TestEntityComplement:
+    def test_new_entities_rank_first(self, search, lake):
+        res = search.related("eu_cities", kind="entity-complement")
+        names = [r.table for r in res]
+        assert names[0] == "more_eu_cities"
+
+    def test_duplicate_table_scores_low(self, search):
+        res = {r.table: r.score for r in search.related("eu_cities", k=10)}
+        assert res.get("more_eu_cities", 0) > res.get("same_cities", 0)
+
+    def test_unrelated_not_returned(self, search):
+        res = [r.table for r in search.related("eu_cities", k=10)]
+        assert "genes" not in res
+
+
+class TestSchemaComplement:
+    def test_new_attributes_rank_first(self, search):
+        res = search.related(
+            "eu_cities", kind="schema-complement", k=10
+        )
+        assert res and res[0].table == "city_details"
+
+    def test_duplicate_gains_nothing(self, search):
+        scores = {
+            r.table: r.score
+            for r in search.related("eu_cities", kind="schema-complement", k=10)
+        }
+        assert scores.get("same_cities", 0.0) < scores["city_details"]
+
+
+class TestApi:
+    def test_unknown_kind_rejected(self, search):
+        with pytest.raises(ValueError):
+            search.related("eu_cities", kind="psychic")
+
+    def test_build_required(self, lake):
+        with pytest.raises(RuntimeError):
+            RelatedTableSearch(lake).related("eu_cities")
+
+    def test_query_excluded(self, search):
+        res = search.related("eu_cities", k=20)
+        assert all(r.table != "eu_cities" for r in res)
+
+    def test_scores_sorted(self, search):
+        res = search.related("eu_cities", k=20)
+        scores = [r.score for r in res]
+        assert scores == sorted(scores, reverse=True)

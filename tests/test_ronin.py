@@ -1,0 +1,51 @@
+"""Tests for RONIN online result exploration."""
+
+import numpy as np
+import pytest
+
+from repro.graph.ronin import RoninExplorer
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(4)
+    out = {}
+    for c in range(3):
+        center = rng.normal(size=8) * 3
+        for i in range(6):
+            out[f"g{c}_t{i}"] = center + rng.normal(size=8) * 0.2
+    return out
+
+
+class TestRonin:
+    def test_organize_subset_only(self, vectors):
+        rx = RoninExplorer(vectors)
+        subset = [n for n in vectors if n.startswith("g0")]
+        org = rx.organize_results(subset)
+        assert sorted(org.root.tables) == sorted(subset)
+
+    def test_unknown_tables_skipped(self, vectors):
+        rx = RoninExplorer(vectors)
+        org = rx.organize_results(["g0_t0", "ghost"])
+        assert org.root.tables == ["g0_t0"]
+
+    def test_all_unknown_raises(self, vectors):
+        rx = RoninExplorer(vectors)
+        with pytest.raises(ValueError):
+            rx.organize_results(["ghost1", "ghost2"])
+
+    def test_drill_down_narrows(self, vectors):
+        rx = RoninExplorer(vectors, max_leaf_size=2)
+        results = list(vectors)
+        org = rx.organize_results(results)
+        intent = vectors["g1_t0"]
+        at_root = rx.drill_down(org, intent, steps=0)
+        deeper = rx.drill_down(org, intent, steps=2)
+        assert len(deeper) <= len(at_root)
+
+    def test_drill_down_follows_intent(self, vectors):
+        rx = RoninExplorer(vectors, max_leaf_size=3)
+        org = rx.organize_results(list(vectors))
+        intent = vectors["g2_t0"]
+        tables = rx.drill_down(org, intent, steps=3)
+        assert any(t.startswith("g2") for t in tables)

@@ -1,0 +1,60 @@
+"""Tests for Sato-style context-aware type detection."""
+
+import numpy as np
+
+from repro.datalake.generate import make_typed_corpus
+from repro.understanding.sato import ColumnOnlyBaseline, SatoTypeDetector
+
+
+def _split_corpus(seed=0, n_tables=80):
+    corpus = make_typed_corpus(
+        n_tables=n_tables, cols_per_table=5, ambiguity=0.8, seed=seed
+    )
+    tables = sorted(corpus.lake, key=lambda t: t.name)
+    cut = int(0.7 * len(tables))
+    train, test = tables[:cut], tables[cut:]
+    labels = {(r.table, r.index): t for r, t in corpus.labels.items()}
+    return train, test, labels
+
+
+def _accuracy(preds, labels, tables):
+    keys = [
+        (t.name, i) for t in tables for i in range(t.num_cols)
+        if (t.name, i) in labels
+    ]
+    return np.mean([preds[k] == labels[k] for k in keys])
+
+
+class TestSato:
+    def test_predicts_every_column(self):
+        train, test, labels = _split_corpus(seed=1, n_tables=30)
+        det = SatoTypeDetector(n_epochs=100).fit(train, labels)
+        preds = det.predict(test)
+        assert len(preds) == sum(t.num_cols for t in test)
+
+    def test_reasonable_accuracy(self):
+        train, test, labels = _split_corpus(seed=2)
+        det = SatoTypeDetector(n_epochs=150).fit(train, labels)
+        acc = _accuracy(det.predict(test), labels, test)
+        assert acc >= 0.7
+
+    def test_context_beats_column_only(self):
+        """The Sato claim (E7 shape): on ambiguous columns whose values alone
+        cannot identify the type, table context lifts accuracy."""
+        train, test, labels = _split_corpus(seed=3)
+        sato = SatoTypeDetector(n_epochs=300).fit(train, labels)
+        base = ColumnOnlyBaseline(n_epochs=300).fit(train, labels)
+        acc_sato = _accuracy(sato.predict(test), labels, test)
+        acc_base = _accuracy(base.predict(test), labels, test)
+        assert acc_sato > acc_base
+
+    def test_single_stage_variant(self):
+        train, test, labels = _split_corpus(seed=4, n_tables=24)
+        det = SatoTypeDetector(two_stage=False, n_epochs=80).fit(train, labels)
+        preds = det.predict(test)
+        assert len(preds) > 0
+
+    def test_classes_property(self):
+        train, _, labels = _split_corpus(seed=5, n_tables=16)
+        det = SatoTypeDetector(n_epochs=30).fit(train, labels)
+        assert len(det.classes_) > 1

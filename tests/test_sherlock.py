@@ -1,0 +1,81 @@
+"""Tests for Sherlock-style semantic type detection."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.datalake.generate import generate_typed_values
+from repro.datalake.table import Column
+from repro.understanding.sherlock import SherlockTypeDetector, SoftmaxClassifier
+
+
+def _typed_columns(types, per_type=10, rows=25, seed=0):
+    rng = random.Random(seed)
+    cols, labels = [], []
+    for t in types:
+        for _ in range(per_type):
+            cols.append(Column("c", generate_typed_values(t, rows, rng)))
+            labels.append(t)
+    return cols, labels
+
+
+class TestSoftmaxClassifier:
+    def test_fits_separable_data(self):
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(loc=-2, size=(40, 3))
+        x1 = rng.normal(loc=+2, size=(40, 3))
+        x = np.vstack([x0, x1])
+        y = ["neg"] * 40 + ["pos"] * 40
+        clf = SoftmaxClassifier(n_epochs=200).fit(x, y)
+        preds = clf.predict(x)
+        assert np.mean([p == t for p, t in zip(preds, y)]) > 0.95
+
+    def test_predict_proba_rows_sum_to_one(self):
+        x = np.random.default_rng(1).normal(size=(20, 4))
+        y = ["a"] * 10 + ["b"] * 10
+        clf = SoftmaxClassifier(n_epochs=50).fit(x, y)
+        p = clf.predict_proba(x)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_constant_feature_no_crash(self):
+        x = np.ones((10, 3))
+        y = ["a"] * 5 + ["b"] * 5
+        clf = SoftmaxClassifier(n_epochs=10).fit(x, y)
+        assert len(clf.predict(x)) == 10
+
+    def test_classes_sorted(self):
+        x = np.random.default_rng(2).normal(size=(9, 2))
+        clf = SoftmaxClassifier(n_epochs=5).fit(x, ["z", "a", "m"] * 3)
+        assert clf.classes_ == ["a", "m", "z"]
+
+
+class TestSherlockDetector:
+    def test_distinguishes_clear_types(self):
+        types = ["email", "year", "price", "person_name"]
+        cols, labels = _typed_columns(types, per_type=12, seed=1)
+        n = len(cols)
+        idx = list(range(n))
+        random.Random(0).shuffle(idx)
+        cols = [cols[i] for i in idx]
+        labels = [labels[i] for i in idx]
+        cut = int(0.7 * n)
+        det = SherlockTypeDetector(n_epochs=200).fit(cols[:cut], labels[:cut])
+        preds = det.predict(cols[cut:])
+        acc = np.mean([p == t for p, t in zip(preds, labels[cut:])])
+        assert acc >= 0.8
+
+    def test_predict_proba_shape(self):
+        cols, labels = _typed_columns(["email", "year"], per_type=6, seed=2)
+        det = SherlockTypeDetector(n_epochs=50).fit(cols, labels)
+        p = det.predict_proba(cols[:3])
+        assert p.shape == (3, 2)
+
+    def test_classes_exposed(self):
+        cols, labels = _typed_columns(["email", "year"], per_type=4, seed=3)
+        det = SherlockTypeDetector(n_epochs=20).fit(cols, labels)
+        assert det.classes_ == ["email", "year"]

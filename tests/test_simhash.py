@@ -1,0 +1,51 @@
+"""Unit + property tests for SimHash fingerprints."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.simhash import hamming_distance, simhash, simhash_similarity
+
+
+class TestSimHash:
+    def test_deterministic(self):
+        assert simhash(["a", "b"]) == simhash(["a", "b"])
+
+    def test_order_invariant(self):
+        assert simhash(["a", "b", "c"]) == simhash(["c", "a", "b"])
+
+    def test_identical_similarity_one(self):
+        f = simhash(["x", "y"] * 5)
+        assert simhash_similarity(f, f) == 1.0
+
+    def test_disjoint_tokens_dissimilar(self):
+        a = simhash([f"a{i}" for i in range(50)])
+        b = simhash([f"b{i}" for i in range(50)])
+        assert simhash_similarity(a, b) < 0.75
+
+    def test_small_perturbation_small_distance(self):
+        base = [f"t{i}" for i in range(40)]
+        a = simhash(base)
+        b = simhash(base + ["extra"])
+        assert hamming_distance(a, b) <= 10
+
+
+class TestHamming:
+    def test_zero_distance(self):
+        assert hamming_distance(0b1010, 0b1010) == 0
+
+    def test_known_distance(self):
+        assert hamming_distance(0b1010, 0b0101) == 4
+
+    def test_symmetry(self):
+        assert hamming_distance(123456, 654321) == hamming_distance(
+            654321, 123456
+        )
+
+
+@given(st.sets(st.text(min_size=1, max_size=6), min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_similarity_bounds(tokens):
+    """Property: similarity of any two fingerprints lies in [0, 1]."""
+    a = simhash(sorted(tokens))
+    b = simhash(sorted(tokens)[: max(1, len(tokens) // 2)])
+    assert 0.0 <= simhash_similarity(a, b) <= 1.0

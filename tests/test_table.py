@@ -1,0 +1,159 @@
+"""Unit tests for the core table model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import SchemaError
+from repro.datalake.table import (
+    Column,
+    ColumnRef,
+    Table,
+    TableMetadata,
+    is_null,
+    normalize_cell,
+    tokenize,
+)
+from repro.datalake.types import DataType
+
+
+class TestNormalization:
+    def test_normalize_strips_and_lowers(self):
+        assert normalize_cell("  Hello  World ") == "hello world"
+
+    def test_normalize_collapses_inner_whitespace(self):
+        assert normalize_cell("a\t b\n c") == "a b c"
+
+    def test_is_null_variants(self):
+        for v in ["", "  ", "NA", "n/a", "NaN", "NULL", "None", "-", "?"]:
+            assert is_null(v), v
+
+    def test_non_null_value(self):
+        assert not is_null("0")
+        assert not is_null("false")
+
+    def test_tokenize_splits_words(self):
+        assert tokenize("Hello, World_2!") == ["hello", "world", "2"]
+
+    def test_tokenize_empty(self):
+        assert tokenize("...") == []
+
+
+class TestColumn:
+    def test_len_and_repr(self):
+        c = Column("x", ["a", "b"])
+        assert len(c) == 2
+        assert "x" in repr(c)
+
+    def test_value_set_normalizes_and_dedupes(self):
+        c = Column("x", ["A", "a ", "b", ""])
+        assert c.value_set() == frozenset({"a", "b"})
+
+    def test_non_null_preserves_order(self):
+        c = Column("x", ["b", "", "a", "b"])
+        assert c.non_null_values() == ["b", "a", "b"]
+
+    def test_null_fraction(self):
+        c = Column("x", ["a", "", "NA", "b"])
+        assert c.null_fraction() == pytest.approx(0.5)
+
+    def test_null_fraction_empty_column(self):
+        assert Column("x", []).null_fraction() == 0.0
+
+    def test_numeric_values_parses_and_nans(self):
+        c = Column("x", ["1.5", "oops", ""])
+        vals = c.numeric_values()
+        assert vals[0] == 1.5
+        assert np.isnan(vals[1]) and np.isnan(vals[2])
+
+    def test_dtype_numeric(self):
+        assert Column("x", ["1", "2", "3"]).dtype is DataType.INTEGER
+
+    def test_is_numeric_flag(self):
+        assert Column("x", ["1.5", "2.5"]).is_numeric
+        assert not Column("x", ["a", "b"]).is_numeric
+
+    def test_tokens_flatten_cells(self):
+        c = Column("x", ["red car", "blue car"])
+        assert c.tokens() == ["red", "car", "blue", "car"]
+
+    def test_distinct_count(self):
+        assert Column("x", ["a", "a", "b"]).distinct_count() == 2
+
+
+class TestTable:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", ["1"]), Column("b", ["1", "2"])])
+
+    def test_from_rows_round_trip(self):
+        t = Table.from_rows("t", ["a", "b"], [["1", "x"], ["2", "y"]])
+        assert t.num_rows == 2
+        assert t.rows() == [["1", "x"], ["2", "y"]]
+
+    def test_from_rows_width_mismatch(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows("t", ["a", "b"], [["only-one"]])
+
+    def test_from_dict(self, tiny_table):
+        assert tiny_table.header == ["city", "country", "population"]
+        assert tiny_table.num_rows == 4
+
+    def test_column_by_name_and_index(self, tiny_table):
+        assert tiny_table.column("city") is tiny_table.column(0)
+
+    def test_column_missing_raises(self, tiny_table):
+        with pytest.raises(KeyError):
+            tiny_table.column("nope")
+
+    def test_column_index(self, tiny_table):
+        assert tiny_table.column_index("country") == 1
+        with pytest.raises(KeyError):
+            tiny_table.column_index("nope")
+
+    def test_row_access(self, tiny_table):
+        assert tiny_table.row(0) == ["Oslo", "Norway", "700000"]
+
+    def test_project(self, tiny_table):
+        p = tiny_table.project(["city"], name="proj")
+        assert p.name == "proj"
+        assert p.num_cols == 1
+
+    def test_text_and_numeric_split(self, tiny_table):
+        text = [i for i, _ in tiny_table.text_columns()]
+        nums = [i for i, _ in tiny_table.numeric_columns()]
+        assert text == [0, 1]
+        assert nums == [2]
+
+    def test_empty_table(self):
+        t = Table("empty", [])
+        assert t.num_rows == 0 and t.num_cols == 0
+
+    def test_metadata_text(self):
+        m = TableMetadata(title="a", description="b", tags=["c", "d"])
+        for part in ("a", "b", "c", "d"):
+            assert part in m.text()
+
+
+class TestColumnRef:
+    def test_str(self):
+        assert str(ColumnRef("t", 3)) == "t[3]"
+
+    def test_hashable_and_eq(self):
+        assert ColumnRef("t", 1) == ColumnRef("t", 1)
+        assert len({ColumnRef("t", 1), ColumnRef("t", 1)}) == 1
+
+
+@given(
+    st.lists(
+        st.lists(st.text(alphabet=st.characters(codec="utf-8"), max_size=8),
+                 min_size=2, max_size=2),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_from_rows_any_cells_round_trips(rows):
+    """Property: building from row-major cells preserves every cell."""
+    t = Table.from_rows("t", ["a", "b"], rows)
+    assert t.rows() == [[str(c) for c in r] for r in rows]

@@ -1,0 +1,99 @@
+"""Unit tests for data type inference."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalake.types import (
+    DataType,
+    classify_value,
+    infer_type,
+    parse_float,
+)
+
+
+class TestClassifyValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("42", DataType.INTEGER),
+            ("-7", DataType.INTEGER),
+            ("+3", DataType.INTEGER),
+            ("3.14", DataType.FLOAT),
+            ("-0.5", DataType.FLOAT),
+            ("1e-4", DataType.FLOAT),
+            (".5", DataType.FLOAT),
+            ("2021-03-04", DataType.DATE),
+            ("3/14/2021", DataType.DATE),
+            ("2021/3/4", DataType.DATE),
+            ("hello", DataType.TEXT),
+            ("12abc", DataType.TEXT),
+            ("", DataType.EMPTY),
+            ("NA", DataType.EMPTY),
+            ("null", DataType.EMPTY),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert classify_value(value) is expected
+
+    def test_comma_separated_number(self):
+        assert classify_value("1,234.5") is DataType.FLOAT
+
+
+class TestParseFloat:
+    def test_plain(self):
+        assert parse_float("2.5") == 2.5
+
+    def test_with_commas(self):
+        assert parse_float("1,234") == 1234.0
+
+    def test_null_is_nan(self):
+        assert math.isnan(parse_float("NA"))
+
+    def test_garbage_is_nan(self):
+        assert math.isnan(parse_float("abc"))
+
+
+class TestInferType:
+    def test_all_ints(self):
+        assert infer_type(["1", "2", "3"]) is DataType.INTEGER
+
+    def test_ints_with_floats_degrade(self):
+        assert infer_type(["1", "2.5", "3", "4.5"]) is DataType.FLOAT
+
+    def test_mostly_text(self):
+        assert infer_type(["a", "b", "1"]) is DataType.TEXT
+
+    def test_dates(self):
+        assert infer_type(["2020-01-01", "2020-01-02"]) is DataType.DATE
+
+    def test_all_null_is_empty(self):
+        assert infer_type(["", "NA", "null"]) is DataType.EMPTY
+
+    def test_empty_list(self):
+        assert infer_type([]) is DataType.EMPTY
+
+    def test_threshold_respected(self):
+        # 80% ints with threshold 0.9 -> TEXT (below threshold), not INTEGER.
+        values = ["1"] * 8 + ["x"] * 2
+        assert infer_type(values, threshold=0.9) is DataType.TEXT
+        assert infer_type(values, threshold=0.7) is DataType.INTEGER
+
+    def test_nulls_ignored_in_denominator(self):
+        assert infer_type(["1", "2", "", "NA"]) is DataType.INTEGER
+
+
+@given(st.lists(st.integers(-10**12, 10**12), min_size=1, max_size=50))
+def test_integer_lists_always_integer(xs):
+    """Property: columns of stringified ints infer INTEGER."""
+    assert infer_type([str(x) for x in xs]) is DataType.INTEGER
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                          width=32), min_size=1, max_size=50))
+def test_float_lists_parse_back(xs):
+    """Property: parse_float inverts str() for finite floats."""
+    for x in xs:
+        assert parse_float(str(x)) == pytest.approx(float(str(x)))

@@ -1,0 +1,131 @@
+"""Tests for TUS-style table union search."""
+
+import pytest
+
+from repro.datalake.ontology import subsample_ontology
+from repro.search.union_tus import TableUnionSearch, TusConfig
+
+
+@pytest.fixture(scope="module")
+def tus(union_corpus, union_space):
+    return TableUnionSearch(
+        union_corpus.lake,
+        ontology=union_corpus.ontology,
+        space=union_space,
+    ).build()
+
+
+class TestLifecycle:
+    def test_unknown_measure_rejected(self, union_corpus):
+        with pytest.raises(ValueError):
+            TableUnionSearch(
+                union_corpus.lake, config=TusConfig(measure="bogus")
+            )
+
+    def test_search_before_build_rejected(self, union_corpus):
+        t = TableUnionSearch(union_corpus.lake)
+        with pytest.raises(RuntimeError):
+            t.search(next(iter(union_corpus.lake)))
+
+
+class TestRetrieval:
+    @pytest.mark.parametrize("measure", ["set", "sem", "nl", "ensemble"])
+    def test_group_members_rank_top(self, union_corpus, tus, measure):
+        qname = union_corpus.groups[0][0]
+        res = tus.search(union_corpus.lake.table(qname), k=3, measure=measure)
+        got = {r.table for r in res}
+        truth = union_corpus.truth[qname]
+        assert len(got & truth) >= 2, measure
+
+    def test_scores_in_unit_range(self, union_corpus, tus):
+        qname = union_corpus.groups[1][0]
+        for r in tus.search(union_corpus.lake.table(qname), k=10):
+            assert 0.0 <= r.score <= 1.0 + 1e-9
+
+    def test_alignment_reported(self, union_corpus, tus):
+        qname = union_corpus.groups[0][0]
+        res = tus.search(union_corpus.lake.table(qname), k=1)
+        assert res[0].alignment
+        # Alignment pairs reference valid column indices.
+        cand = union_corpus.lake.table(res[0].table)
+        for qi, cj, s in res[0].alignment:
+            assert 0 <= cj < cand.num_cols
+            assert s > 0
+
+    def test_prefilter_matches_full_scan(self, union_corpus, tus):
+        qname = union_corpus.groups[2][0]
+        query = union_corpus.lake.table(qname)
+        fast = [r.table for r in tus.search(query, k=3, prefilter=True)]
+        slow = [r.table for r in tus.search(query, k=3, prefilter=False)]
+        assert set(fast) & set(slow)
+
+
+class TestMeasures:
+    def test_sem_requires_ontology(self, union_corpus, union_space):
+        t = TableUnionSearch(union_corpus.lake, space=union_space).build()
+        qname = union_corpus.groups[0][0]
+        qcol = union_corpus.lake.table(qname).columns[0]
+        from repro.datalake.table import ColumnRef
+
+        other = ColumnRef(union_corpus.groups[0][1], 0)
+        assert t.sem_unionability(qcol, other) == 0.0
+
+    def test_nl_requires_space(self, union_corpus):
+        t = TableUnionSearch(
+            union_corpus.lake, ontology=union_corpus.ontology
+        ).build()
+        qname = union_corpus.groups[0][0]
+        qcol = union_corpus.lake.table(qname).columns[0]
+        from repro.datalake.table import ColumnRef
+
+        other = ColumnRef(union_corpus.groups[0][1], 0)
+        assert t.nl_unionability(qcol, other) == 0.0
+
+    def test_semantic_survives_low_value_overlap(self, union_corpus, tus):
+        """The TUS claim: when value overlap is partial, semantic measures
+        still match same-domain columns strongly."""
+        from repro.datalake.table import ColumnRef
+
+        qname, cname = union_corpus.groups[0][0], union_corpus.groups[0][1]
+        query = union_corpus.lake.table(qname)
+        cand = union_corpus.lake.table(cname)
+        # Align columns via ontology concepts.
+        onto = union_corpus.ontology
+        for qi, qcol in query.text_columns():
+            q_cls = onto.annotate_column(qcol.non_null_values())
+            for ci, ccol in cand.text_columns():
+                if onto.annotate_column(ccol.non_null_values()) == q_cls:
+                    sem = tus.sem_unionability(qcol, ColumnRef(cname, ci))
+                    assert sem > 0.9
+                    return
+        pytest.fail("no aligned column pair found")
+
+    def test_ensemble_at_least_max_component(self, union_corpus, tus):
+        from repro.datalake.table import ColumnRef
+
+        qcol = union_corpus.lake.table(union_corpus.groups[0][0]).columns[0]
+        ref = ColumnRef(union_corpus.groups[0][1], 0)
+        ens = tus.attribute_unionability(qcol, ref, "ensemble")
+        parts = [
+            tus.attribute_unionability(qcol, ref, m)
+            for m in ("set", "sem", "nl")
+        ]
+        assert ens == pytest.approx(max(parts))
+
+    def test_partial_ontology_weakens_sem(self, union_corpus, union_space):
+        weak_onto = subsample_ontology(union_corpus.ontology, 0.3, seed=2)
+        weak = TableUnionSearch(
+            union_corpus.lake, ontology=weak_onto, space=union_space
+        ).build()
+        full = TableUnionSearch(
+            union_corpus.lake,
+            ontology=union_corpus.ontology,
+            space=union_space,
+        ).build()
+        qname = union_corpus.groups[0][0]
+        query = union_corpus.lake.table(qname)
+        res_weak = weak.search(query, k=3, measure="sem")
+        res_full = full.search(query, k=3, measure="sem")
+        top_weak = sum(r.score for r in res_weak)
+        top_full = sum(r.score for r in res_full)
+        assert top_full >= top_weak

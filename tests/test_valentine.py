@@ -1,0 +1,142 @@
+"""Tests for Valentine-style schema matching."""
+
+import pytest
+
+from repro.datalake.table import Column, Table
+from repro.search.valentine import (
+    CompositeMatcher,
+    DistributionMatcher,
+    EmbeddingMatcher,
+    HeaderMatcher,
+    ValueOverlapMatcher,
+    evaluate_matcher,
+    precision_at_size,
+    recall_at_ground_truth,
+)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    source = Table.from_dict(
+        "src",
+        {
+            "city name": ["oslo", "rome", "lima"],
+            "population": ["700000", "2800000", "9700000"],
+            "notes": ["cold", "warm", "dry"],
+        },
+    )
+    target = Table.from_dict(
+        "tgt",
+        {
+            "population count": ["710000", "2900000", "9600000"],
+            "city": ["oslo", "rome", "cairo"],
+            "founded": ["1048", "-753", "1535"],
+        },
+    )
+    truth = {(0, 1), (1, 0)}  # city<->city, population<->population
+    return source, target, truth
+
+
+class TestHeaderMatcher:
+    def test_token_overlap(self, pair):
+        source, target, _ = pair
+        m = HeaderMatcher()
+        assert m.score(source.column(0), target.column(1)) > 0  # city
+        assert m.score(source.column(2), target.column(2)) == 0.0
+
+    def test_match_ranked(self, pair):
+        source, target, truth = pair
+        ranked = m = HeaderMatcher().match(source, target)
+        assert ranked[0].score >= ranked[-1].score
+        assert (ranked[0].source, ranked[0].target) in truth
+
+
+class TestValueOverlapMatcher:
+    def test_shared_values(self, pair):
+        source, target, _ = pair
+        m = ValueOverlapMatcher()
+        assert m.score(source.column(0), target.column(1)) == pytest.approx(
+            2 / 4
+        )
+
+    def test_disjoint_zero(self, pair):
+        source, target, _ = pair
+        assert ValueOverlapMatcher().score(
+            source.column(2), target.column(1)
+        ) == 0.0
+
+
+class TestDistributionMatcher:
+    def test_similar_numeric_distributions(self, pair):
+        source, target, _ = pair
+        m = DistributionMatcher()
+        s = m.score(source.column(1), target.column(0))
+        assert s > 0.5
+
+    def test_non_numeric_zero(self, pair):
+        source, target, _ = pair
+        assert DistributionMatcher().score(
+            source.column(0), target.column(1)
+        ) == 0.0
+
+    def test_distant_distributions_lower(self):
+        a = Column("x", ["1", "2", "3", "4"])
+        b = Column("y", ["1000000", "2000000", "1500000", "1700000"])
+        c = Column("z", ["2", "3", "4", "5"])
+        m = DistributionMatcher()
+        assert m.score(a, c) > m.score(a, b)
+
+
+class TestEmbeddingMatcher:
+    def test_same_domain_columns_match(self, union_corpus, union_space):
+        m = EmbeddingMatcher(union_space)
+        qname, cname = union_corpus.groups[0][0], union_corpus.groups[0][1]
+        src = union_corpus.lake.table(qname)
+        tgt = union_corpus.lake.table(cname)
+        ranked = m.match(src, tgt)
+        assert ranked
+        # Top correspondence must pair same-concept columns.
+        top = ranked[0]
+        onto = union_corpus.ontology
+        cls_a = onto.annotate_column(
+            src.columns[top.source].non_null_values()
+        )
+        cls_b = onto.annotate_column(
+            tgt.columns[top.target].non_null_values()
+        )
+        assert cls_a == cls_b
+
+
+class TestComposite:
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            CompositeMatcher([])
+
+    def test_dominates_weakest_component(self, pair):
+        source, target, truth = pair
+        composite = CompositeMatcher(
+            [(HeaderMatcher(), 1.0), (ValueOverlapMatcher(), 1.0),
+             (DistributionMatcher(), 1.0)]
+        )
+        rec = recall_at_ground_truth(composite.match(source, target), truth)
+        header_rec = recall_at_ground_truth(
+            HeaderMatcher().match(source, target), truth
+        )
+        assert rec >= header_rec
+
+
+class TestMetrics:
+    def test_precision_at_size(self, pair):
+        source, target, truth = pair
+        ranked = ValueOverlapMatcher().match(source, target)
+        assert 0.0 <= precision_at_size(ranked, truth, 2) <= 1.0
+        assert precision_at_size([], truth, 2) == 0.0
+        assert precision_at_size(ranked, truth, 0) == 0.0
+
+    def test_recall_empty_truth(self):
+        assert recall_at_ground_truth([], set()) == 1.0
+
+    def test_evaluate_matcher(self, pair):
+        report = evaluate_matcher(HeaderMatcher(), [pair])
+        assert set(report) == {"precision", "recall_at_gt"}
+        assert 0.0 <= report["recall_at_gt"] <= 1.0

@@ -1,0 +1,69 @@
+"""Tests for WarpGate semantic join discovery."""
+
+import pytest
+
+from repro.datalake.table import Column
+from repro.search.warpgate import WarpGateConfig, WarpGateJoinDiscovery
+
+
+@pytest.fixture(scope="module")
+def warpgate(union_corpus, union_space):
+    return WarpGateJoinDiscovery(union_corpus.lake, union_space).build()
+
+
+class TestWarpGate:
+    def test_build_required(self, union_corpus, union_space):
+        wg = WarpGateJoinDiscovery(union_corpus.lake, union_space)
+        with pytest.raises(RuntimeError):
+            wg.search(Column("q", ["x"]))
+
+    def test_finds_same_domain_columns(self, union_corpus, warpgate):
+        qname = union_corpus.groups[0][0]
+        qcol = union_corpus.lake.table(qname).columns[0]
+        res = warpgate.search(qcol, k=5, exclude_table=qname)
+        assert res
+        onto = union_corpus.ontology
+        q_cls = onto.annotate_column(qcol.non_null_values())
+        top_col = union_corpus.lake.column(res[0].ref)
+        assert onto.annotate_column(top_col.non_null_values()) == q_cls
+
+    def test_semantic_beats_zero_overlap(self, union_corpus, warpgate):
+        """Columns from the same domain with no shared values still rank."""
+        qname = union_corpus.groups[1][0]
+        qcol = union_corpus.lake.table(qname).columns[0]
+        res = warpgate.search(qcol, k=8, exclude_table=qname)
+        qset = qcol.value_set()
+        semantic_only = [
+            r for r in res
+            if not (qset & union_corpus.lake.column(r.ref).value_set())
+        ]
+        # At least the scores are meaningful for overlap-free hits if any.
+        for r in semantic_only:
+            assert r.score > 0
+
+    def test_oov_query_empty(self, warpgate):
+        res = warpgate.search(Column("q", ["totally-unknown-value"]))
+        assert res == []
+
+    def test_exclude_table(self, union_corpus, warpgate):
+        qname = union_corpus.groups[0][0]
+        qcol = union_corpus.lake.table(qname).columns[0]
+        res = warpgate.search(qcol, k=10, exclude_table=qname)
+        assert all(r.ref.table != qname for r in res)
+
+    def test_overlap_weight_blends(self, union_corpus, union_space):
+        pure = WarpGateJoinDiscovery(
+            union_corpus.lake,
+            union_space,
+            WarpGateConfig(overlap_weight=0.0),
+        ).build()
+        blended = WarpGateJoinDiscovery(
+            union_corpus.lake,
+            union_space,
+            WarpGateConfig(overlap_weight=0.9),
+        ).build()
+        qname = union_corpus.groups[0][0]
+        qcol = union_corpus.lake.table(qname).columns[0]
+        r_pure = pure.search(qcol, k=5, exclude_table=qname)
+        r_blend = blended.search(qcol, k=5, exclude_table=qname)
+        assert r_pure and r_blend
