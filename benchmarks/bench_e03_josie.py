@@ -11,6 +11,7 @@ import time
 import pytest
 
 from repro.bench.harness import ExperimentTable
+from repro.obs import METRICS
 from repro.search.josie import JosieIndex
 
 
@@ -49,6 +50,7 @@ def test_e03_topk_sweep(josie_index, benchmark):
         table.add_row(k, josie_ms, merge_ms, verified, len(idx))
         ratios.append(verified / len(idx))
     table.note("expected shape: verified << index size; answers exact")
+    table.attach_metrics(METRICS.snapshot(), match="search.josie")
     table.show()
     assert ratios[0] < 0.6, "early termination should skip most candidates"
 

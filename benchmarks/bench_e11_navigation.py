@@ -10,7 +10,6 @@ import pytest
 
 from repro.bench.harness import ExperimentTable
 from repro.graph.organize import Organization, flat_navigation_cost
-from repro.understanding.contextual import ContextualColumnEncoder
 
 
 @pytest.fixture(scope="module")

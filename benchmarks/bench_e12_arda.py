@@ -6,7 +6,6 @@ noise-table counts.  Expected shape: augmentation lifts R^2 massively over
 the weak base; selection retains the lift while dropping noise features.
 """
 
-import pytest
 
 from repro.apps.arda import ArdaAugmenter
 from repro.bench.harness import ExperimentTable

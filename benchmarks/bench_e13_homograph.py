@@ -6,7 +6,6 @@ ranks planted homographs (bridges between unrelated domains) far above
 ordinary values; degree alone is a weaker signal.
 """
 
-import networkx as nx
 import pytest
 
 from repro.bench.harness import ExperimentTable

@@ -11,12 +11,11 @@ widens (the §3 argument for lake-scale indexing).
 import time
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import ExperimentTable
 from repro.datalake.generate import make_join_corpus
 from repro.search.josie import JosieIndex
-from repro.sketch.hnsw import HNSW, brute_force_knn
+from repro.sketch.hnsw import HNSW
 from repro.sketch.lshensemble import LSHEnsemble
 from repro.sketch.minhash import MinHash
 

@@ -10,7 +10,6 @@ coverage drops, crossing below nl at low coverage; the ensemble dominates
 both ends.
 """
 
-import pytest
 
 from repro.bench.harness import ExperimentTable
 from repro.bench.metrics import precision_at_k

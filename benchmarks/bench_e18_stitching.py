@@ -7,7 +7,6 @@ canonicalization aligns synonym columns; unstitched fragments leave most
 predicates unaligned.
 """
 
-import pytest
 
 from repro.apps.stitching import (
     StitchedRelation,

@@ -14,7 +14,6 @@ import random
 import time
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import ExperimentTable
 from repro.search.aggregate import greedy_alignment, hungarian_alignment

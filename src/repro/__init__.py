@@ -16,6 +16,8 @@ The package implements the tutorial's Figure-1 architecture end to end:
 * ``repro.apps``          — data science support (ARDA augmentation,
   stitching/KB completion, training set discovery);
 * ``repro.core``          — the ``DiscoverySystem`` facade tying it together;
+* ``repro.obs``           — observability (tracing spans, metrics registry,
+  logging helpers; see ``docs/observability.md``);
 * ``repro.bench``         — metrics, workloads, and the experiment harness.
 
 Quickstart::

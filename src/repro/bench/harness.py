@@ -30,6 +30,30 @@ class ExperimentTable:
     def note(self, text: str) -> None:
         self.notes.append(text)
 
+    def attach_metrics(self, snapshot: dict, match: str | None = None) -> None:
+        """Attach a ``MetricsRegistry.snapshot()`` as note lines.
+
+        ``match`` filters metric names by substring (e.g. ``"josie"``), so a
+        bench can surface just the counters its experiment exercises.
+        """
+
+        def keep(name: str) -> bool:
+            return match is None or match in name
+
+        for name, value in snapshot.get("counters", {}).items():
+            if keep(name):
+                self.note(f"metric {name} = {value:g}")
+        for name, value in snapshot.get("gauges", {}).items():
+            if keep(name):
+                self.note(f"metric {name} = {value:g}")
+        for name, hist in snapshot.get("histograms", {}).items():
+            if keep(name) and hist["count"]:
+                mean = hist["sum"] / hist["count"]
+                self.note(
+                    f"metric {name}: count={hist['count']} "
+                    f"mean={mean:.3f} max={hist['max']:g}"
+                )
+
     def render(self) -> str:
         def fmt(v) -> str:
             if isinstance(v, float):

@@ -8,20 +8,32 @@ Usage::
     python -m repro union     <lake_dir> --table cities [-k 5] [--method starmie]
     python -m repro navigate  <lake_dir> --intent "city population"
     python -m repro domains   <lake_dir>
+    python -m repro profile   <lake_dir> [-o report.json] [--no-embeddings]
 
 Every command ingests ``lake_dir`` (recursively, all ``*.csv``), runs the
 offline pipeline stages it needs, and prints results to stdout.
+
+All commands accept ``-v/--verbose`` (repeatable: ``-v`` INFO, ``-vv``
+DEBUG, to stderr) and ``--profile`` (print the tracing span tree and the
+metrics snapshot after the command's own output).  ``profile`` is the
+batch variant: it runs the full offline pipeline with tracing on and emits
+a machine-readable JSON report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro import obs
 from repro.core.config import DiscoveryConfig
 from repro.core.system import DiscoverySystem
 from repro.datalake.lake import DataLake
 from repro.datalake.table import ColumnRef
+from repro.obs import METRICS, TRACER
+
+log = obs.get_logger("core.cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,12 +42,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def common(p):
+        p.add_argument(
+            "-v",
+            "--verbose",
+            action="count",
+            default=0,
+            help="log to stderr (-v info, -vv debug)",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="print tracing spans and metrics after the command",
+        )
+
     def lake_arg(p):
         p.add_argument("lake_dir", help="directory of CSV files")
         p.add_argument("-k", type=int, default=5, help="results to return")
+        common(p)
 
     p = sub.add_parser("stats", help="lake statistics")
     p.add_argument("lake_dir")
+    common(p)
 
     p = sub.add_parser("keyword", help="metadata keyword search")
     lake_arg(p)
@@ -62,28 +90,77 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("domains", help="discover value domains")
     lake_arg(p)
+
+    p = sub.add_parser(
+        "profile",
+        help="run the full offline pipeline and emit a JSON "
+        "observability report (span tree + metrics)",
+    )
+    p.add_argument("lake_dir", help="directory of CSV files")
+    p.add_argument(
+        "-o", "--output", help="write the JSON report here instead of stdout"
+    )
+    p.add_argument(
+        "--no-embeddings",
+        action="store_true",
+        help="skip the embedding stage (and everything that needs it)",
+    )
+    common(p)
     return parser
 
 
 def _system(lake_dir: str, need_embeddings: bool, domains: bool = False):
+    log.info("loading lake from %s", lake_dir)
     lake = DataLake.from_directory(lake_dir)
     config = DiscoveryConfig(
         enable_embeddings=need_embeddings,
         enable_domains=domains,
         embedding_min_count=1,
     )
+    log.info("building offline pipeline (embeddings=%s)", need_embeddings)
     return DiscoverySystem(lake, config).build()
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    out = sys.stdout
+def _run_profile(args, out) -> int:
+    """The ``profile`` subcommand: trace a full offline build, dump JSON."""
+    obs.reset()
+    obs.enable_tracing()
+    try:
+        lake = DataLake.from_directory(args.lake_dir)
+        config = DiscoveryConfig(
+            enable_embeddings=not args.no_embeddings,
+            enable_domains=True,
+            embedding_min_count=1,
+        )
+        system = DiscoverySystem(lake, config).build()
+        report = obs.report(
+            extra={
+                "lake_dir": str(args.lake_dir),
+                "lake": lake.stats(),
+                "stage_seconds": system.stats.stage_seconds,
+            }
+        )
+        text = json.dumps(report, indent=2)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as f:
+                f.write(text + "\n")
+            print(f"wrote {args.output}", file=out)
+        else:
+            print(text, file=out)
+        return 0
+    finally:
+        obs.disable_tracing()
 
+
+def _run(args, out) -> int:
     if args.command == "stats":
         lake = DataLake.from_directory(args.lake_dir)
         for key, value in lake.stats().items():
             print(f"{key:>8}: {value}", file=out)
         return 0
+
+    if args.command == "profile":
+        return _run_profile(args, out)
 
     if args.command == "keyword":
         system = _system(args.lake_dir, need_embeddings=False)
@@ -126,3 +203,23 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     return 1  # pragma: no cover - argparse enforces valid commands
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+    obs.configure_logging(getattr(args, "verbose", 0))
+    # `profile` manages tracing itself; --profile wraps any other command.
+    profiling = getattr(args, "profile", False) and args.command != "profile"
+    if profiling:
+        obs.reset()
+        obs.enable_tracing()
+    try:
+        return _run(args, out)
+    finally:
+        if profiling:
+            obs.disable_tracing()
+            print("\n-- profile: spans --", file=out)
+            print(TRACER.render(), file=out)
+            print("\n-- profile: metrics --", file=out)
+            print(METRICS.render(), file=out)

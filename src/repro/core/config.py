@@ -43,6 +43,10 @@ class DiscoveryConfig:
     def validate(self) -> "DiscoveryConfig":
         if self.num_perm < 8:
             raise ConfigError("num_perm must be >= 8")
+        for name in ("embedding_dim", "hnsw_m", "ef_search", "qcr_sketch_size"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
         if not 0 < self.containment_threshold <= 1:
             raise ConfigError("containment_threshold must be in (0, 1]")
         if self.union_measure not in ("set", "sem", "nl", "ensemble"):

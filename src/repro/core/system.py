@@ -15,12 +15,14 @@ Online: ``keyword_search``, ``joinable_search``, ``unionable_search``,
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.apps.arda import ArdaAugmenter, AugmentationReport
 from repro.core.config import DiscoveryConfig, PipelineStats
 from repro.core.errors import LakeError
+from repro.obs import METRICS, TRACER, get_logger
 from repro.datalake.lake import DataLake
 from repro.datalake.ontology import Ontology
 from repro.datalake.table import Column, ColumnRef, Table
@@ -40,6 +42,8 @@ from repro.understanding.annotate import OntologyAnnotator, TableAnnotation
 from repro.understanding.contextual import ContextualColumnEncoder
 from repro.understanding.domains import DiscoveredDomain, DomainDiscovery
 from repro.understanding.embedding import EmbeddingSpace, train_embeddings
+
+log = get_logger("core.system")
 
 
 class DiscoverySystem:
@@ -83,26 +87,46 @@ class DiscoverySystem:
         lake_stats = self.lake.stats()
         self.stats.tables = lake_stats["tables"]
         self.stats.columns = lake_stats["columns"]
+        METRICS.set_gauge("lake.tables", self.stats.tables)
+        METRICS.set_gauge("lake.columns", self.stats.columns)
 
-        def stage(name: str, fn) -> None:
-            t0 = time.perf_counter()
-            fn()
-            self.stats.stage_seconds[name] = time.perf_counter() - t0
-
-        if cfg.enable_embeddings:
-            stage("embeddings", self._build_embeddings)
-        if cfg.enable_domains:
-            stage("domains", self._build_domains)
-        if cfg.enable_annotation and self.ontology is not None:
-            stage("annotation", self._build_annotations)
-        stage("keyword_index", self._build_keyword)
-        stage("join_index", self._build_joinable)
-        stage("union_index", self._build_union)
-        stage("correlation_index", self._build_correlated)
-        stage("mate_index", self._build_mate)
-        stage("navigation", self._build_navigation)
+        with TRACER.span(
+            "pipeline.build",
+            force=True,
+            tables=self.stats.tables,
+            columns=self.stats.columns,
+        ):
+            if cfg.enable_embeddings:
+                self._stage("embeddings", self._build_embeddings)
+            if cfg.enable_domains:
+                self._stage("domains", self._build_domains)
+            if cfg.enable_annotation and self.ontology is not None:
+                self._stage("annotation", self._build_annotations)
+            self._stage("keyword_index", self._build_keyword)
+            self._stage("join_index", self._build_joinable)
+            self._stage("union_index", self._build_union)
+            self._stage("correlation_index", self._build_correlated)
+            self._stage("mate_index", self._build_mate)
+            self._stage("navigation", self._build_navigation)
+        METRICS.inc("pipeline.builds")
         self._built = True
+        log.info(
+            "pipeline built: %d tables, %d columns, %d stages in %.1f ms",
+            self.stats.tables,
+            self.stats.columns,
+            len(self.stats.stage_seconds),
+            sum(self.stats.stage_seconds.values()) * 1000,
+        )
         return self
+
+    def _stage(self, name: str, fn) -> None:
+        """Run one offline stage inside a (forced) tracer span; keep the
+        legacy ``PipelineStats.stage_seconds`` populated from it."""
+        with TRACER.span(f"stage.{name}", force=True) as sp:
+            fn()
+        self.stats.stage_seconds[name] = sp.duration_s
+        METRICS.set_gauge(f"pipeline.stage_seconds.{name}", sp.duration_s)
+        log.debug("stage %s finished in %.1f ms", name, sp.duration_s * 1000)
 
     def _build_embeddings(self) -> None:
         cfg = self.config
@@ -113,6 +137,7 @@ class DiscoverySystem:
             seed=cfg.seed,
         )
         self.stats.vocabulary = len(self.space.vocab)
+        METRICS.set_gauge("embedding.vocabulary", self.stats.vocabulary)
         self.encoder = ContextualColumnEncoder(
             self.space, context_weight=cfg.context_weight
         )
@@ -190,14 +215,32 @@ class DiscoverySystem:
 
     def _require_built(self) -> None:
         if not self._built:
-            raise LakeError("DiscoverySystem.build() has not been called")
+            raise LakeError(
+                "DiscoverySystem is not built yet: call build() first"
+            )
+
+    @contextmanager
+    def _query_span(self, engine: str, **attrs):
+        """Per-query observability: a ``query.<engine>`` span plus latency
+        histogram and query counter (always recorded; span is a no-op when
+        tracing is disabled)."""
+        t0 = time.perf_counter()
+        with TRACER.span(f"query.{engine}", **attrs) as sp:
+            yield sp
+        latency_ms = (time.perf_counter() - t0) * 1000
+        METRICS.inc(f"query.{engine}.count")
+        METRICS.observe("query.latency_ms", latency_ms)
+        METRICS.observe(f"query.{engine}.latency_ms", latency_ms)
 
     # -- online: table search engine ---------------------------------------------------
 
     def keyword_search(self, query: str, k: int = 10) -> list[KeywordHit]:
         """Metadata keyword search (§2.3)."""
         self._require_built()
-        return self._keyword.search(query, k)
+        with self._query_span("keyword", query=query, k=k) as sp:
+            hits = self._keyword.search(query, k)
+            sp.set("hits", len(hits))
+        return hits
 
     def joinable_search(
         self,
@@ -213,12 +256,18 @@ class DiscoverySystem:
         if isinstance(column, ColumnRef):
             exclude = column.table
             column = self.lake.column(column)
-        if method == "exact":
-            return self._joinable.exact_topk(column, k, exclude_table=exclude)
-        if method == "containment":
-            t = threshold or self.config.containment_threshold
-            return self._joinable.containment(column, t, exclude_table=exclude)[:k]
-        raise ValueError(f"unknown join method {method!r}")
+        with self._query_span("join", method=method, k=k) as sp:
+            if method == "exact":
+                hits = self._joinable.exact_topk(column, k, exclude_table=exclude)
+            elif method == "containment":
+                t = threshold or self.config.containment_threshold
+                hits = self._joinable.containment(
+                    column, t, exclude_table=exclude
+                )[:k]
+            else:
+                raise ValueError(f"unknown join method {method!r}")
+            sp.set("hits", len(hits))
+        return hits
 
     def fuzzy_joinable_search(
         self, column: Column | ColumnRef, k: int = 10
@@ -231,14 +280,22 @@ class DiscoverySystem:
         if isinstance(column, ColumnRef):
             exclude = column.table
             column = self.lake.column(column)
-        return self._pexeso.search(column, k, exclude_table=exclude)
+        with self._query_span("fuzzy_join", k=k) as sp:
+            hits = self._pexeso.search(column, k, exclude_table=exclude)
+            sp.set("hits", len(hits))
+        return hits
 
     def multi_attribute_search(
         self, query: Table, key_columns: list[int], k: int = 10
     ) -> list[MateHit]:
         """MATE-style composite-key joinable search (§2.4)."""
         self._require_built()
-        return self._mate.search(query, key_columns, k)
+        with self._query_span(
+            "multi_attribute", key_columns=tuple(key_columns), k=k
+        ) as sp:
+            hits = self._mate.search(query, key_columns, k)
+            sp.set("hits", len(hits))
+        return hits
 
     def unionable_search(
         self, query: Table | str, k: int = 10, method: str = "starmie"
@@ -247,17 +304,23 @@ class DiscoverySystem:
         self._require_built()
         if isinstance(query, str):
             query = self.lake.table(query)
-        if method == "tus":
-            return self._tus.search(query, k)
-        if method == "santos":
-            if self._santos is None:
-                raise LakeError("no ontology: SANTOS unavailable")
-            return self._santos.search(query, k)
-        if method == "starmie":
-            if self._starmie is None:
-                raise LakeError("embeddings disabled: Starmie unavailable")
-            return self._starmie.search(query, k)
-        raise ValueError(f"unknown union method {method!r}")
+        with self._query_span(
+            "union", method=method, table=query.name, k=k
+        ) as sp:
+            if method == "tus":
+                hits = self._tus.search(query, k)
+            elif method == "santos":
+                if self._santos is None:
+                    raise LakeError("no ontology: SANTOS unavailable")
+                hits = self._santos.search(query, k)
+            elif method == "starmie":
+                if self._starmie is None:
+                    raise LakeError("embeddings disabled: Starmie unavailable")
+                hits = self._starmie.search(query, k)
+            else:
+                raise ValueError(f"unknown union method {method!r}")
+            sp.set("hits", len(hits))
+        return hits
 
     def correlated_search(
         self, query: Table | str, key_column: int, value_column: int, k: int = 10
@@ -266,7 +329,10 @@ class DiscoverySystem:
         self._require_built()
         if isinstance(query, str):
             query = self.lake.table(query)
-        return self._correlated.search(query, key_column, value_column, k)
+        with self._query_span("correlated", table=query.name, k=k) as sp:
+            hits = self._correlated.search(query, key_column, value_column, k)
+            sp.set("hits", len(hits))
+        return hits
 
     # -- online: navigation -------------------------------------------------------------
 

@@ -1,0 +1,77 @@
+"""Observability: tracing spans, a metrics registry, and logging helpers.
+
+The library shares one module-level :class:`~repro.obs.trace.Tracer`
+(``TRACER``, disabled by default) and one
+:class:`~repro.obs.metrics.MetricsRegistry` (``METRICS``, always on).
+Engines annotate the enclosing span via ``TRACER.current()`` and record
+aggregated counters once per query via ``METRICS.inc`` — with tracing
+disabled the span calls are no-ops, so instrumented hot paths cost nothing
+measurable.
+
+Typical profiling session::
+
+    from repro import obs
+
+    obs.reset()
+    obs.enable_tracing()
+    system = DiscoverySystem(lake).build()
+    system.keyword_search("air quality")
+    print(obs.TRACER.render())
+    print(obs.METRICS.render())
+    report = obs.report()          # JSON-ready span tree + metrics snapshot
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.trace import NOOP_SPAN, Span, Tracer
+
+#: Process-wide tracer; disabled by default (spans become no-ops).
+TRACER = Tracer(enabled=False)
+
+#: Process-wide metrics registry; always collecting.
+METRICS = MetricsRegistry()
+
+
+def enable_tracing() -> None:
+    TRACER.enable()
+
+
+def disable_tracing() -> None:
+    TRACER.disable()
+
+
+def reset() -> None:
+    """Clear all collected spans and metrics (state flags are kept)."""
+    TRACER.reset()
+    METRICS.reset()
+
+
+def report(extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """A JSON-ready observability report: span tree + metrics snapshot."""
+    out: dict[str, Any] = dict(extra or {})
+    out["spans"] = TRACER.to_dicts()
+    out["metrics"] = METRICS.snapshot()
+    return out
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "configure_logging",
+    "disable_tracing",
+    "enable_tracing",
+    "get_logger",
+    "report",
+    "reset",
+]

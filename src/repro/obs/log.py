@@ -1,0 +1,46 @@
+"""Stdlib logging helpers: one ``repro`` logger hierarchy, one handler.
+
+``get_logger("core.system")`` returns ``logging.getLogger("repro.core.system")``;
+``configure(verbosity)`` installs (or replaces) a stderr handler on the
+``repro`` root logger, mapping the CLI's ``-v`` count to a level:
+0 → WARNING, 1 → INFO, ≥2 → DEBUG.  Reconfiguring is idempotent — repeated
+calls never stack handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_MARKER = "_repro_obs_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install the library's stderr handler at the level for ``verbosity``."""
+    if verbosity <= 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, _MARKER, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s", "%H:%M:%S"
+        )
+    )
+    setattr(handler, _MARKER, True)
+    root.addHandler(handler)
+    return root

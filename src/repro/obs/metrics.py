@@ -1,0 +1,172 @@
+"""Metrics: a thread-safe registry of counters, gauges, and histograms.
+
+Counters accumulate (`inc`), gauges hold the last value (`set_gauge`),
+histograms bucket observations into fixed upper-bound buckets
+(``value <= bound``, Prometheus ``le`` semantics) with a ``+inf`` overflow
+bucket and running count/sum/min/max.  ``snapshot()`` returns a plain,
+deterministically ordered dict (safe to ``json.dumps``); ``render()``
+returns a human-readable dump.
+
+Engines record *aggregated* amounts once per query (e.g. the number of
+posting lists a JOSIE search read), never per-item increments inside hot
+loops, so the always-on registry stays cheap.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+#: Default histogram buckets, tuned for per-query latencies in milliseconds.
+DEFAULT_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+    50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with running count/sum/min/max."""
+
+    __slots__ = ("buckets", "counts", "overflow", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        buckets = {f"<={b:g}": c for b, c in zip(self.buckets, self.counts)}
+        buckets["+inf"] = self.overflow
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "min": round(self.min, 6) if self.count else None,
+            "max": round(self.max, 6) if self.count else None,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms behind one lock."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        """Record one observation into histogram ``name``.
+
+        ``buckets`` only takes effect when the histogram is first created.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = Histogram(buckets or DEFAULT_BUCKETS)
+                self._histograms[name] = hist
+            hist.observe(value)
+
+    # -- reading -------------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def names(self) -> list[str]:
+        """Every distinct metric name, sorted."""
+        with self._lock:
+            return sorted(
+                set(self._counters) | set(self._gauges) | set(self._histograms)
+            )
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic (sorted-key) plain-dict dump of every metric."""
+        with self._lock:
+            return {
+                "counters": {
+                    k: self._counters[k] for k in sorted(self._counters)
+                },
+                "gauges": {
+                    k: round(self._gauges[k], 6) for k in sorted(self._gauges)
+                },
+                "histograms": {
+                    k: self._histograms[k].to_dict()
+                    for k in sorted(self._histograms)
+                },
+            }
+
+    def render(self) -> str:
+        """Human-readable metrics dump."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name} = {value:g}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name} = {value:g}")
+        if snap["histograms"]:
+            lines.append("histograms:")
+            for name, h in snap["histograms"].items():
+                if h["count"]:
+                    mean = h["sum"] / h["count"]
+                    lines.append(
+                        f"  {name}: count={h['count']} mean={mean:.3f} "
+                        f"min={h['min']:g} max={h['max']:g}"
+                    )
+                else:
+                    lines.append(f"  {name}: count=0")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

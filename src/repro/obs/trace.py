@@ -1,0 +1,194 @@
+"""Tracing: nestable, thread-safe spans with near-zero disabled overhead.
+
+A ``Span`` records a name, wall-clock duration, key/value attributes, and
+child spans; a ``Tracer`` hands out spans as context managers and collects
+finished root spans in memory.  When the tracer is disabled, ``span()``
+returns a shared no-op singleton whose enter/exit does nothing — safe to
+leave in hot paths.  ``force=True`` records a span even while the tracer is
+disabled; the offline pipeline uses this so ``PipelineStats`` can always be
+populated from span durations.
+
+Spans nest per *thread* (a ``threading.local`` stack); a span opened on a
+thread with no enclosing span becomes a root.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Iterator
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class Span:
+    """One timed, attributed unit of work.  Use as a context manager."""
+
+    __slots__ = ("name", "attrs", "children", "duration_s", "_tracer", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs: dict[str, Any] = attrs
+        self.children: list[Span] = []
+        self.duration_s: float = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._tracer._stack().append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        stack = self._tracer._stack()
+        stack.pop()
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            self._tracer._add_root(self)
+        return False
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one key/value attribute."""
+        self.attrs[key] = value
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration_s * 1000, 3),
+            "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    duration_s = 0.0
+    attrs: dict[str, Any] = {}
+    children: list = []
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Creates spans and collects finished root spans in memory."""
+
+    def __init__(self, enabled: bool = False):
+        self._enabled = enabled
+        self._roots: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # -- state --------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop all collected spans (active spans are unaffected)."""
+        with self._lock:
+            self._roots = []
+
+    # -- span creation -------------------------------------------------------------
+
+    def span(self, name: str, force: bool = False, **attrs: Any):
+        """A context manager timing one unit of work.
+
+        Returns the no-op singleton when disabled (unless ``force``), so
+        callers never need to check ``enabled`` themselves.
+        """
+        if not self._enabled and not force:
+            return NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def current(self):
+        """The innermost active span on this thread (no-op span if none)."""
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1]
+        return NOOP_SPAN
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _add_root(self, span: Span) -> None:
+        with self._lock:
+            self._roots.append(span)
+
+    # -- export --------------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def spans(self) -> list[Span]:
+        """Every collected span, depth first across roots."""
+        return [s for root in self.roots() for s in root.walk()]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [root.to_dict() for root in self.roots()]
+
+    def export_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    def render(self) -> str:
+        """Human-readable indented span tree with durations."""
+        lines: list[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            pad = "  " * depth
+            attrs = ""
+            if span.attrs:
+                inner = ", ".join(
+                    f"{k}={_jsonable(v)}" for k, v in span.attrs.items()
+                )
+                attrs = f"  [{inner}]"
+            lines.append(
+                f"{pad}{span.name:<{max(1, 40 - 2 * depth)}}"
+                f"{span.duration_s * 1000:9.2f} ms{attrs}"
+            )
+            for child in span.children:
+                emit(child, depth + 1)
+
+        for root in self.roots():
+            emit(root, 0)
+        return "\n".join(lines)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
+from repro.obs import METRICS, TRACER
 from repro.sketch.qcr import CorrelationSketch, pearson
 
 
@@ -60,6 +61,7 @@ class CorrelatedSearch:
                     )
                     if len(sketch) >= 4:
                         self._sketches[(table.name, ki, ni)] = sketch
+        METRICS.inc("index.qcr.sketches_built", len(self._sketches))
         return self
 
     def search(
@@ -76,14 +78,24 @@ class CorrelatedSearch:
             n=self.sketch_size,
         )
         hits = []
+        compared = 0
+        pruned = 0
         for (name, ki, ni), sketch in self._sketches.items():
             if name == query.name:
                 continue
+            compared += 1
             containment = qsketch.containment(sketch)
             if containment < min_containment:
+                pruned += 1
                 continue
             r = qsketch.correlation(sketch)
             hits.append(CorrelatedHit(name, ki, ni, r, containment))
+        METRICS.inc("search.qcr.queries")
+        METRICS.inc("search.qcr.sketches_compared", compared)
+        METRICS.inc("search.qcr.pruned_by_containment", pruned)
+        sp = TRACER.current()
+        sp.set("qcr.sketches_compared", compared)
+        sp.set("qcr.pruned_by_containment", pruned)
         return sorted(hits)[:k]
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Column, ColumnRef
+from repro.obs import METRICS, TRACER
 from repro.search.josie import JosieIndex
 from repro.search.results import ColumnResult
 from repro.sketch.lsh import MinHashLSH
@@ -70,6 +71,7 @@ class JoinableSearch:
         for ref, mh, _ in entries:
             self._jaccard_lsh.insert(ref, mh)
         self._built = True
+        METRICS.inc("index.minhash.signatures_built", len(entries))
         return self
 
     def _require_built(self) -> None:
@@ -112,14 +114,21 @@ class JoinableSearch:
         values = self._query_values(column)
         mh = MinHash.from_values(values, num_perm=self.config.num_perm)
         out = []
+        checked = 0
         for ref in self._ensemble.query(mh, len(values), threshold):
             if exclude_table is not None and ref.table == exclude_table:
                 continue
+            checked += 1
             containment = len(values & self._josie.set_of(ref)) / max(
                 len(values), 1
             )
             if containment >= threshold:
                 out.append(ColumnResult(ref, containment))
+        METRICS.inc("search.containment.candidates_checked", checked)
+        METRICS.inc("search.containment.candidates_pruned", checked - len(out))
+        sp = TRACER.current()
+        sp.set("containment.candidates_checked", checked)
+        sp.set("containment.results", len(out))
         return sorted(out)
 
     def containment_candidates(

@@ -16,6 +16,7 @@ import heapq
 from typing import Hashable, Iterable
 
 from repro.core.errors import IndexError_
+from repro.obs import METRICS, TRACER
 from repro.sketch.inverted import InvertedIndex
 
 
@@ -35,6 +36,8 @@ class JosieIndex:
         vset = frozenset(str(v) for v in values)
         self._sets[key] = vset
         self._inv.insert(key, vset)
+        METRICS.inc("index.josie.sets_indexed")
+        METRICS.inc("index.josie.values_indexed", len(vset))
 
     def set_of(self, key: Hashable) -> frozenset[str]:
         return self._sets[key]
@@ -74,6 +77,7 @@ class JosieIndex:
         )
         total = len(tokens)
         partial: dict[Hashable, int] = {}
+        posting_lists_read = 0
         posting_entries_read = 0
         remaining = total
 
@@ -83,6 +87,7 @@ class JosieIndex:
         for i, token in enumerate(tokens):
             remaining = total - i - 1
             postings = self._inv.postings(token)
+            posting_lists_read += 1
             posting_entries_read += len(postings)
             for key in postings:
                 partial[key] = partial.get(key, 0) + 1
@@ -118,8 +123,14 @@ class JosieIndex:
         )[:k]
         ranked = [(key, ov) for key, ov in ranked if ov > 0]
         stats = {
+            "posting_lists_read": posting_lists_read,
             "posting_entries_read": posting_entries_read,
+            "candidates_examined": len(partial),
             "sets_verified": sets_verified,
             "query_tokens": total,
         }
+        METRICS.inc("search.josie.queries")
+        for name, value in stats.items():
+            METRICS.inc(f"search.josie.{name}", value)
+            TRACER.current().set(f"josie.{name}", value)
         return ranked, stats

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.datalake.lake import DataLake
 from repro.datalake.table import tokenize
+from repro.obs import METRICS, TRACER
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,7 @@ class KeywordSearchEngine:
             self._schemas[table.name] = tuple(sorted(h.lower() for h in table.header))
         n = len(self._docs)
         self._avg_len = (sum(self._doc_len.values()) / n) if n else 0.0
+        METRICS.inc("index.keyword.tables_indexed", n)
 
     def _idf(self, token: str) -> float:
         n = len(self._docs)
@@ -99,7 +101,14 @@ class KeywordSearchEngine:
                 score += self._idf(t) * tf * (self.k1 + 1) / denom
             if score > 0:
                 hits.append(KeywordHit(name, score))
-        return sorted(hits)[:k]
+        out = sorted(hits)[:k]
+        METRICS.inc("search.keyword.queries")
+        METRICS.inc("search.keyword.docs_scored", len(self._docs))
+        METRICS.inc("search.keyword.hits_returned", len(out))
+        sp = TRACER.current()
+        sp.set("keyword.docs_scored", len(self._docs))
+        sp.set("keyword.candidates", len(hits))
+        return out
 
     def search_clustered(
         self, query: str, k: int = 10

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
+from repro.obs import METRICS, TRACER
 from repro.sketch.hashing import stable_hash64
 
 
@@ -68,6 +69,7 @@ class MateIndex:
             cells = [c for c in cells if c]
             rows.append((row_super_key(cells, self.bits), frozenset(cells)))
         self._rows[table.name] = rows
+        METRICS.inc("index.mate.rows_indexed", len(rows))
 
     def search(
         self,
@@ -98,6 +100,8 @@ class MateIndex:
         for cells, mask in qkeys:
             distinct[cells] = mask
         hits = []
+        rows_checked = 0
+        rows_passed_filter = 0
         for name, rows in self._rows.items():
             if name == (exclude or query.name):
                 continue
@@ -105,8 +109,10 @@ class MateIndex:
             for cells, mask in distinct.items():
                 found = False
                 for super_key, row_cells in rows:
+                    rows_checked += 1
                     if (super_key & mask) != mask:
                         continue  # filter: row cannot contain all cells
+                    rows_passed_filter += 1
                     if all(c in row_cells for c in cells):
                         found = True
                         break
@@ -114,7 +120,15 @@ class MateIndex:
                     matched += 1
             if matched:
                 hits.append(MateHit(name, matched, len(distinct)))
-        return sorted(hits)[:k]
+        out = sorted(hits)[:k]
+        METRICS.inc("search.mate.queries")
+        METRICS.inc("search.mate.rows_checked", rows_checked)
+        METRICS.inc("search.mate.rows_passed_filter", rows_passed_filter)
+        METRICS.inc("search.mate.tables_matched", len(hits))
+        sp = TRACER.current()
+        sp.set("mate.rows_checked", rows_checked)
+        sp.set("mate.rows_passed_filter", rows_passed_filter)
+        return out
 
     def filter_stats(self, query: Table, key_columns: list[int]) -> dict:
         """How many rows the super-key filter prunes before verification."""

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Column, ColumnRef
+from repro.obs import METRICS, TRACER
 from repro.search.results import ColumnResult
 from repro.sketch.hnsw import HNSW
 from repro.understanding.embedding import EmbeddingSpace
@@ -56,6 +57,8 @@ class PexesoIndex:
                     self._hnsw.add((ref, vid), vec)
             if vectors:
                 self._column_vectors[ref] = np.vstack(vectors)
+                METRICS.inc("index.pexeso.vectors_indexed", len(vectors))
+                METRICS.inc("index.pexeso.columns_indexed")
         return self
 
     def _query_vectors(self, column: Column) -> np.ndarray:
@@ -98,6 +101,13 @@ class PexesoIndex:
             frac = self._verify(qvecs, ref)
             if frac >= cfg.sigma:
                 results.append(ColumnResult(ref, frac))
+        METRICS.inc("search.pexeso.queries")
+        METRICS.inc("search.pexeso.columns_blocked", len(hits_per_column))
+        METRICS.inc("search.pexeso.candidates_verified", len(candidates))
+        METRICS.inc("search.pexeso.results_returned", len(results))
+        sp = TRACER.current()
+        sp.set("pexeso.columns_blocked", len(hits_per_column))
+        sp.set("pexeso.candidates_verified", len(candidates))
         return sorted(results)[:k]
 
     def _verify(self, qvecs: np.ndarray, ref: ColumnRef) -> float:

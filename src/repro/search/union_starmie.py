@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.datalake.lake import DataLake
 from repro.datalake.table import ColumnRef, Table
+from repro.obs import METRICS, TRACER
 from repro.search.aggregate import table_unionability
 from repro.search.results import TableResult
 from repro.sketch.hashing import stable_hash64
@@ -109,6 +110,7 @@ class StarmieUnionSearch:
             for ref, v in self._vectors.items():
                 self._lsh.insert(ref, v)
         self._built = True
+        METRICS.inc("index.starmie.columns_indexed", len(self._vectors))
         return self
 
     # -- retrieval -------------------------------------------------------------------
@@ -146,8 +148,10 @@ class StarmieUnionSearch:
             return []
         # Gather per-table candidate column sets from per-column retrieval.
         table_cols: dict[str, set[int]] = defaultdict(set)
+        candidates_examined = 0
         for _, v in qcols:
             for ref, _score in self._column_candidates(v):
+                candidates_examined += 1
                 if ref.table != query.name:
                     table_cols[ref.table].add(ref.index)
         results = []
@@ -165,4 +169,10 @@ class StarmieUnionSearch:
             if total > 0:
                 alignment = tuple((qi, cols[cj], s) for qi, cj, s in pairs)
                 results.append(TableResult(name, total, alignment))
+        METRICS.inc("search.starmie.queries")
+        METRICS.inc("search.starmie.candidates_examined", candidates_examined)
+        METRICS.inc("search.starmie.tables_scored", len(table_cols))
+        sp = TRACER.current()
+        sp.set("starmie.candidates_examined", candidates_examined)
+        sp.set("starmie.tables_scored", len(table_cols))
         return sorted(results)[:k]

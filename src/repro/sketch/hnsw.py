@@ -17,6 +17,7 @@ from typing import Hashable
 import numpy as np
 
 from repro.core.errors import IndexError_
+from repro.obs import METRICS, TRACER
 
 
 class HNSW:
@@ -51,6 +52,8 @@ class HNSW:
         self._links: list[list[set[int]]] = []
         self._entry: int | None = None
         self._max_level = -1
+        #: lifetime count of distance evaluations (inserts + queries)
+        self.distance_computations = 0
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -68,6 +71,7 @@ class HNSW:
         return v
 
     def _dist(self, v: np.ndarray, node: int) -> float:
+        self.distance_computations += 1
         u = self._vectors[node]
         if self.metric == "cosine":
             return 1.0 - float(np.dot(v, u))
@@ -80,6 +84,17 @@ class HNSW:
         """Insert a keyed vector."""
         if key in self._key_to_id:
             raise IndexError_(f"duplicate key {key!r}")
+        METRICS.inc("index.hnsw.nodes_added")
+        before = self.distance_computations
+        try:
+            self._add(key, vector)
+        finally:
+            METRICS.inc(
+                "index.hnsw.insert_distance_computations",
+                self.distance_computations - before,
+            )
+
+    def _add(self, key: Hashable, vector: np.ndarray) -> None:
         v = self._prep(vector)
         node = len(self._keys)
         level = int(-math.log(max(self._rng.random(), 1e-12)) * self._ml)
@@ -183,12 +198,21 @@ class HNSW:
         """Approximate k nearest neighbours as (key, distance), ascending."""
         if self._entry is None:
             return []
+        before = self.distance_computations
         v = self._prep(vector)
         ef = max(ef or max(2 * k, self.ef_construction // 2), k)
         ep = self._entry
         for layer in range(self._max_level, 0, -1):
             ep = self._greedy_step(v, ep, layer)
         found = self._search_layer(v, [ep], 0, ef)
+        ndist = self.distance_computations - before
+        METRICS.inc("index.hnsw.queries")
+        METRICS.inc("index.hnsw.distance_computations", ndist)
+        sp = TRACER.current()
+        sp.set(
+            "hnsw.distance_computations",
+            sp.attrs.get("hnsw.distance_computations", 0) + ndist,
+        )
         return [(self._keys[n], d) for d, n in found[:k]]
 
 

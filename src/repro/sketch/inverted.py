@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
+from repro.obs import METRICS
+
 
 class InvertedIndex:
     """Maps tokens to the set of keys whose token set contains them."""
@@ -33,6 +35,8 @@ class InvertedIndex:
         for t in distinct:
             self._postings.setdefault(t, []).append(key)
         self._sorted = False
+        METRICS.inc("index.inverted.keys_indexed")
+        METRICS.inc("index.inverted.postings_written", len(distinct))
 
     def _ensure_sorted(self) -> None:
         if not self._sorted:
@@ -43,6 +47,7 @@ class InvertedIndex:
     def postings(self, token: str) -> list[Hashable]:
         """Keys containing the token (sorted; empty list if unseen)."""
         self._ensure_sorted()
+        METRICS.inc("index.inverted.postings_reads")
         return self._postings.get(token, [])
 
     def document_frequency(self, token: str) -> int:

@@ -19,6 +19,7 @@ from collections import defaultdict
 from typing import Hashable
 
 from repro.core.errors import IndexError_
+from repro.obs import METRICS, TRACER
 from repro.sketch.lsh import collision_probability
 from repro.sketch.minhash import MinHash
 
@@ -124,6 +125,8 @@ class LSHEnsemble:
                 bandings.insert(key, mh, size)
             self._partitions.append((upper, bandings))
         self._indexed = True
+        METRICS.inc("index.lshensemble.keys_indexed", n)
+        METRICS.set_gauge("index.lshensemble.partitions", len(self._partitions))
 
     def query(
         self, mh: MinHash, size: int, threshold: float
@@ -139,6 +142,12 @@ class LSHEnsemble:
                 if key not in seen:
                     seen.add(key)
                     out.append(key)
+        METRICS.inc("index.lshensemble.queries")
+        METRICS.inc("index.lshensemble.partitions_probed", len(self._partitions))
+        METRICS.inc("index.lshensemble.candidates_returned", len(out))
+        sp = TRACER.current()
+        sp.set("lshensemble.partitions_probed", len(self._partitions))
+        sp.set("lshensemble.candidates_returned", len(out))
         return out
 
     def query_verified(
@@ -148,12 +157,18 @@ class LSHEnsemble:
         if not self._indexed:
             raise IndexError_("query before index()")
         scored = []
+        candidates = 0
         for upper, bandings in self._partitions:
             j = containment_to_jaccard(threshold, size, max(upper, 1))
             for key in bandings.query(mh, j):
+                candidates += 1
                 cand_mh, cand_size = bandings.keys[key]
                 c = mh.containment(cand_mh, size, cand_size)
                 if c >= threshold:
                     scored.append((key, c))
         scored.sort(key=lambda kv: (-kv[1], str(kv[0])))
+        METRICS.inc("index.lshensemble.queries")
+        METRICS.inc("index.lshensemble.partitions_probed", len(self._partitions))
+        METRICS.inc("index.lshensemble.candidates_returned", candidates)
+        METRICS.inc("index.lshensemble.candidates_verified", len(scored))
         return scored

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.datalake.table import Column, Table
+from repro.datalake.table import Table
 from repro.understanding.features import column_features
 from repro.understanding.sherlock import SoftmaxClassifier
 

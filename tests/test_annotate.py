@@ -2,7 +2,7 @@
 
 from repro.datalake.generate import make_relationship_corpus
 from repro.datalake.ontology import Ontology
-from repro.datalake.table import Column, Table
+from repro.datalake.table import Table
 from repro.understanding.annotate import OntologyAnnotator, synthesize_kb
 
 

@@ -6,7 +6,6 @@ from repro.datalake.lake import DataLake
 from repro.datalake.table import ColumnRef, Table
 from repro.graph.aurum import (
     EDGE_CONTENT,
-    EDGE_PKFK,
     EDGE_SCHEMA,
     AurumConfig,
     EnterpriseKnowledgeGraph,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.datalake.generate import make_keyword_corpus
 from repro.datalake.lake import DataLake
-from repro.datalake.table import Table, TableMetadata
+from repro.datalake.table import Table
 from repro.search.keyword import KeywordSearchEngine
 
 

@@ -1,0 +1,49 @@
+"""Tests for repro.obs.log: logger naming and idempotent configuration."""
+
+import io
+import logging
+
+from repro.obs.log import configure, get_logger
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        assert get_logger("core.system").name == "repro.core.system"
+
+    def test_already_namespaced_untouched(self):
+        assert get_logger("repro.search").name == "repro.search"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigure:
+    def _our_handlers(self):
+        root = logging.getLogger("repro")
+        return [
+            h for h in root.handlers if getattr(h, "_repro_obs_handler", False)
+        ]
+
+    def test_verbosity_levels(self):
+        root = configure(0)
+        assert root.level == logging.WARNING
+        assert configure(1).level == logging.INFO
+        assert configure(2).level == logging.DEBUG
+        assert configure(5).level == logging.DEBUG
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        configure(1)
+        configure(2)
+        configure(0)
+        assert len(self._our_handlers()) == 1
+
+    def test_messages_reach_the_stream(self):
+        stream = io.StringIO()
+        configure(1, stream=stream)
+        get_logger("core.test").info("hello %d", 42)
+        assert "hello 42" in stream.getvalue()
+        assert "repro.core.test" in stream.getvalue()
+
+    def test_debug_suppressed_at_info(self):
+        stream = io.StringIO()
+        configure(1, stream=stream)
+        get_logger("core.test").debug("secret")
+        assert "secret" not in stream.getvalue()

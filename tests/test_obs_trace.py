@@ -1,0 +1,185 @@
+"""Tests for repro.obs.trace: span nesting, timing, disabled overhead."""
+
+import json
+import threading
+import time
+
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+
+class TestSpanBasics:
+    def test_span_records_name_and_duration(self):
+        t = Tracer(enabled=True)
+        with t.span("work"):
+            time.sleep(0.01)
+        (root,) = t.roots()
+        assert root.name == "work"
+        assert root.duration_s >= 0.009
+
+    def test_attributes_at_creation_and_via_set(self):
+        t = Tracer(enabled=True)
+        with t.span("q", k=5) as sp:
+            sp.set("hits", 3)
+        (root,) = t.roots()
+        assert root.attrs == {"k": 5, "hits": 3}
+
+    def test_nesting(self):
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            with t.span("inner"):
+                with t.span("leaf"):
+                    pass
+            with t.span("sibling"):
+                pass
+        (root,) = t.roots()
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner", "sibling"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_child_duration_within_parent(self):
+        t = Tracer(enabled=True)
+        with t.span("outer"):
+            with t.span("inner"):
+                time.sleep(0.005)
+        (root,) = t.roots()
+        assert root.children[0].duration_s <= root.duration_s
+
+    def test_exception_recorded_and_propagated(self):
+        t = Tracer(enabled=True)
+        try:
+            with t.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (root,) = t.roots()
+        assert root.attrs["error"] == "ValueError"
+
+    def test_current_span(self):
+        t = Tracer(enabled=True)
+        assert t.current() is NOOP_SPAN
+        with t.span("outer"):
+            with t.span("inner") as sp:
+                assert t.current() is sp
+        assert t.current() is NOOP_SPAN
+
+    def test_walk_and_spans(self):
+        t = Tracer(enabled=True)
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        with t.span("c"):
+            pass
+        assert [s.name for s in t.spans()] == ["a", "b", "c"]
+
+
+class TestDisabled:
+    def test_disabled_returns_noop_and_collects_nothing(self):
+        t = Tracer(enabled=False)
+        with t.span("x") as sp:
+            pass
+        assert sp is NOOP_SPAN
+        assert t.roots() == []
+
+    def test_noop_set_is_harmless(self):
+        NOOP_SPAN.set("k", 1)
+        assert NOOP_SPAN.attrs == {}
+
+    def test_force_records_while_disabled(self):
+        t = Tracer(enabled=False)
+        with t.span("pipeline", force=True):
+            with t.span("stage", force=True):
+                pass
+            with t.span("hot-path"):  # not forced: stays a no-op
+                pass
+        (root,) = t.roots()
+        assert [c.name for c in root.children] == ["stage"]
+
+    def test_enable_disable_toggle(self):
+        t = Tracer()
+        assert not t.enabled
+        t.enable()
+        with t.span("x"):
+            pass
+        t.disable()
+        with t.span("y"):
+            pass
+        assert [s.name for s in t.roots()] == ["x"]
+
+    def test_noop_overhead_under_microseconds(self):
+        # Acceptance target: disabled span enter/exit <= ~1us.  Take the
+        # best of several runs so scheduler noise cannot fail the test.
+        t = Tracer(enabled=False)
+        n = 10_000
+        best = float("inf")
+        for _ in range(5):
+            t0 = time.perf_counter()
+            for _ in range(n):
+                with t.span("hot"):
+                    pass
+            best = min(best, time.perf_counter() - t0)
+        per_span = best / n
+        assert per_span < 2e-6, f"no-op span took {per_span * 1e6:.2f}us"
+
+
+class TestExport:
+    def test_reset(self):
+        t = Tracer(enabled=True)
+        with t.span("x"):
+            pass
+        t.reset()
+        assert t.roots() == []
+
+    def test_to_dicts_and_json(self):
+        t = Tracer(enabled=True)
+        with t.span("root", k=1) as sp:
+            sp.set("obj", object())  # non-primitive attrs are stringified
+            with t.span("child"):
+                pass
+        data = json.loads(t.export_json())
+        assert data[0]["name"] == "root"
+        assert data[0]["attrs"]["k"] == 1
+        assert isinstance(data[0]["attrs"]["obj"], str)
+        assert data[0]["children"][0]["name"] == "child"
+        assert data[0]["duration_ms"] >= 0
+
+    def test_render_tree(self):
+        t = Tracer(enabled=True)
+        with t.span("root"):
+            with t.span("child", k=2):
+                pass
+        text = t.render()
+        lines = text.splitlines()
+        assert "root" in lines[0]
+        assert lines[1].startswith("  ") and "child" in lines[1]
+        assert "k=2" in lines[1]
+        assert "ms" in lines[0]
+
+
+class TestThreads:
+    def test_spans_nest_per_thread(self):
+        t = Tracer(enabled=True)
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(50):
+                    with t.span(name):
+                        with t.span(f"{name}.child"):
+                            pass
+            except Exception as e:  # pragma: no cover
+                errors.append(e)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(4)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        roots = t.roots()
+        assert len(roots) == 4 * 50
+        # every root kept exactly its own child: no cross-thread leakage
+        assert all(
+            [c.name for c in r.children] == [f"{r.name}.child"] for r in roots
+        )

@@ -11,7 +11,6 @@ from repro.core.config import DiscoveryConfig
 from repro.core.errors import ConfigError, LakeError
 from repro.core.pipeline import STAGES, pipeline_report, run_pipeline
 from repro.core.system import DiscoverySystem
-from repro.datalake.generate import make_union_corpus
 from repro.datalake.table import ColumnRef
 
 

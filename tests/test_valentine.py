@@ -46,7 +46,7 @@ class TestHeaderMatcher:
 
     def test_match_ranked(self, pair):
         source, target, truth = pair
-        ranked = m = HeaderMatcher().match(source, target)
+        ranked = HeaderMatcher().match(source, target)
         assert ranked[0].score >= ranked[-1].score
         assert (ranked[0].source, ranked[0].target) in truth
 
