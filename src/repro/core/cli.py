@@ -6,18 +6,24 @@ Usage::
     python -m repro keyword   <lake_dir> --query "air quality" [-k 5]
     python -m repro join      <lake_dir> --table cities --column 0 [-k 5]
     python -m repro union     <lake_dir> --table cities [-k 5] [--method starmie]
+    python -m repro query     <lake_dir> --engine join --table cities [--explain]
     python -m repro navigate  <lake_dir> --intent "city population"
     python -m repro domains   <lake_dir>
     python -m repro profile   <lake_dir> [-o report.json] [--no-embeddings]
+    python -m repro serve-metrics <lake_dir> [--port 9095] [--duration 60]
+    python -m repro bench     <lake_dir> [-o BENCH_queries.json] [--repeat 3]
+    python -m repro bench-compare old.json new.json [--threshold 0.2]
 
 Every command ingests ``lake_dir`` (recursively, all ``*.csv``), runs the
 offline pipeline stages it needs, and prints results to stdout.
 
 All commands accept ``-v/--verbose`` (repeatable: ``-v`` INFO, ``-vv``
-DEBUG, to stderr) and ``--profile`` (print the tracing span tree and the
-metrics snapshot after the command's own output).  ``profile`` is the
-batch variant: it runs the full offline pipeline with tracing on and emits
-a machine-readable JSON report.
+DEBUG, to stderr), ``--profile`` (print the tracing span tree and the
+metrics snapshot after the command's own output), ``--trace-out FILE``
+(write a Chrome/Perfetto trace of the run), and ``--metrics-out FILE``
+(write the Prometheus text page).  ``profile`` is the batch variant: it
+runs the full offline pipeline with tracing on and emits a
+machine-readable JSON report.
 """
 
 from __future__ import annotations
@@ -25,13 +31,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro import obs
+from repro.bench.harness import BenchTrajectory, compare_trajectories
 from repro.core.config import DiscoveryConfig
 from repro.core.system import DiscoverySystem
 from repro.datalake.lake import DataLake
 from repro.datalake.table import ColumnRef
 from repro.obs import METRICS, TRACER
+from repro.obs.server import ObservabilityServer
 
 log = obs.get_logger("core.cli")
 
@@ -54,6 +63,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--profile",
             action="store_true",
             help="print tracing spans and metrics after the command",
+        )
+        p.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            help="write a Chrome/Perfetto trace-event JSON of the run",
+        )
+        p.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            help="write the Prometheus text-exposition metrics page",
         )
 
     def lake_arg(p):
@@ -84,6 +103,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=["tus", "starmie"], default="starmie"
     )
 
+    p = sub.add_parser(
+        "query",
+        help="run one online query against any engine; --explain prints "
+        "the per-stage candidate funnel",
+    )
+    lake_arg(p)
+    p.add_argument(
+        "--engine",
+        required=True,
+        choices=[
+            "keyword",
+            "join",
+            "containment",
+            "fuzzy",
+            "mate",
+            "correlated",
+            "union",
+        ],
+    )
+    p.add_argument("--query", help="keyword text (engine=keyword)")
+    p.add_argument("--table", help="query table name (all other engines)")
+    p.add_argument("--column", type=int, default=0, help="query column index")
+    p.add_argument(
+        "--key-columns",
+        default="0",
+        help="comma-separated key column indexes (engine=mate)",
+    )
+    p.add_argument(
+        "--value-column",
+        type=int,
+        default=1,
+        help="numeric value column (engine=correlated)",
+    )
+    p.add_argument(
+        "--method", default="starmie", help="union method (engine=union)"
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print EXPLAIN provenance: the per-stage candidate funnel",
+    )
+
     p = sub.add_parser("navigate", help="navigate the lake by intent")
     lake_arg(p)
     p.add_argument("--intent", required=True)
@@ -104,6 +165,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-embeddings",
         action="store_true",
         help="skip the embedding stage (and everything that needs it)",
+    )
+    common(p)
+
+    p = sub.add_parser(
+        "serve-metrics",
+        help="serve /metrics (Prometheus), /health, /querylog, /trace "
+        "over HTTP from a background thread",
+    )
+    p.add_argument(
+        "lake_dir",
+        nargs="?",
+        help="optional: build the pipeline on this lake and run warmup "
+        "queries so the endpoint has data",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9095)
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for N seconds then exit (default: until interrupted)",
+    )
+    common(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="time every online query path on a lake; write a "
+        "BENCH_<experiment>.json trajectory",
+    )
+    p.add_argument("lake_dir", help="directory of CSV files")
+    p.add_argument(
+        "-o",
+        "--output",
+        default=".",
+        help="output file, or a directory to get BENCH_<experiment>.json",
+    )
+    p.add_argument("--experiment", default="queries")
+    p.add_argument("--repeat", type=int, default=3)
+    common(p)
+
+    p = sub.add_parser(
+        "bench-compare",
+        help="regression gate: compare two BENCH_*.json trajectories; "
+        "exits 1 on latency regressions beyond the threshold",
+    )
+    p.add_argument("old", help="baseline trajectory JSON")
+    p.add_argument("new", help="candidate trajectory JSON")
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="allowed latency growth factor (0.2 = +20%%)",
+    )
+    p.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the comparison but always exit 0",
     )
     common(p)
     return parser
@@ -152,6 +270,172 @@ def _run_profile(args, out) -> int:
         obs.disable_tracing()
 
 
+def _run_query(args, out) -> int:
+    """The ``query`` subcommand: one online query, optionally EXPLAINed."""
+    engine = args.engine
+    need_embeddings = engine in ("fuzzy", "union")
+    system = _system(args.lake_dir, need_embeddings=need_embeddings)
+    explain = args.explain
+
+    def need_table():
+        if not args.table:
+            raise SystemExit(f"--table is required for engine={engine}")
+        return args.table
+
+    if engine == "keyword":
+        if not args.query:
+            raise SystemExit("--query is required for engine=keyword")
+        res = system.keyword_search(args.query, k=args.k, explain=explain)
+    elif engine in ("join", "containment"):
+        ref = ColumnRef(need_table(), args.column)
+        res = system.joinable_search(
+            ref,
+            k=args.k,
+            method="exact" if engine == "join" else "containment",
+            explain=explain,
+        )
+    elif engine == "fuzzy":
+        ref = ColumnRef(need_table(), args.column)
+        res = system.fuzzy_joinable_search(ref, k=args.k, explain=explain)
+    elif engine == "mate":
+        table = system.lake.table(need_table())
+        key_cols = [int(c) for c in args.key_columns.split(",") if c != ""]
+        res = system.multi_attribute_search(
+            table, key_cols, k=args.k, explain=explain
+        )
+    elif engine == "correlated":
+        res = system.correlated_search(
+            need_table(),
+            args.column,
+            args.value_column,
+            k=args.k,
+            explain=explain,
+        )
+    else:  # union
+        res = system.unionable_search(
+            need_table(), k=args.k, method=args.method, explain=explain
+        )
+
+    if explain:
+        hits, report = res
+        print(report.render(), file=out)
+    else:
+        from repro.search.explain import summarize_results
+
+        for ident, score in summarize_results(res):
+            print(f"{ident}\t{score:.3f}", file=out)
+    return 0
+
+
+def _run_serve_metrics(args, out) -> int:
+    """The ``serve-metrics`` subcommand: background HTTP telemetry."""
+    if args.lake_dir:
+        system = _system(args.lake_dir, need_embeddings=False)
+        # Warmup queries so /metrics and /querylog have per-engine series.
+        names = system.lake.table_names()
+        if names:
+            table = system.lake.table(names[0])
+            system.keyword_search(" ".join(table.header[:2]) or "data", k=3)
+            text_cols = [i for i, _ in table.text_columns()]
+            if text_cols:
+                system.joinable_search(
+                    ColumnRef(table.name, text_cols[0]), k=3
+                )
+                system.multi_attribute_search(table, [text_cols[0]], k=3)
+    server = ObservabilityServer(args.host, args.port).start()
+    print(f"serving {server.url}/metrics /health /querylog /trace", file=out)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive loop
+            while True:
+                time.sleep(1)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _run_bench(args, out) -> int:
+    """The ``bench`` subcommand: time each online query path, write a
+    ``BENCH_<experiment>.json`` trajectory."""
+    lake = DataLake.from_directory(args.lake_dir)
+    config = DiscoveryConfig(enable_embeddings=True, embedding_min_count=1)
+    traj = BenchTrajectory(
+        experiment=args.experiment,
+        meta={"lake": lake.stats(), "repeat": args.repeat},
+    )
+    t0 = time.perf_counter()
+    system = DiscoverySystem(lake, config).build()
+    traj.add("pipeline.build", (time.perf_counter() - t0) * 1000)
+
+    names = system.lake.table_names()
+    table = system.lake.table(names[0])
+    text_cols = [i for i, _ in table.text_columns()]
+    num_cols = [i for i, _ in table.numeric_columns()]
+    kw = " ".join(table.header[:2]) or "data"
+    cases = [("query.keyword", lambda: system.keyword_search(kw, k=5))]
+    if text_cols:
+        ref = ColumnRef(table.name, text_cols[0])
+        cases += [
+            ("query.join.exact", lambda: system.joinable_search(ref, k=5)),
+            (
+                "query.join.containment",
+                lambda: system.joinable_search(ref, k=5, method="containment"),
+            ),
+            (
+                "query.fuzzy_join",
+                lambda: system.fuzzy_joinable_search(ref, k=5),
+            ),
+            (
+                "query.multi_attribute",
+                lambda: system.multi_attribute_search(
+                    table, [text_cols[0]], k=5
+                ),
+            ),
+        ]
+        if num_cols:
+            cases.append(
+                (
+                    "query.correlated",
+                    lambda: system.correlated_search(
+                        table.name, text_cols[0], num_cols[0], k=5
+                    ),
+                )
+            )
+    cases += [
+        (
+            "query.union.starmie",
+            lambda: system.unionable_search(table.name, k=5),
+        ),
+        (
+            "query.union.tus",
+            lambda: system.unionable_search(table.name, k=5, method="tus"),
+        ),
+    ]
+    for name, fn in cases:
+        try:
+            stats = traj.add_timed(name, fn, repeat=args.repeat)
+            log.info("bench %s: %.3f ms", name, stats["latency_ms"])
+        except Exception as exc:
+            log.warning("bench %s skipped: %s", name, exc)
+    path = traj.write(args.output)
+    print(f"wrote {path} ({len(traj.records)} records)", file=out)
+    return 0
+
+
+def _run_bench_compare(args, out) -> int:
+    """The ``bench-compare`` subcommand: the latency regression gate."""
+    old = BenchTrajectory.load(args.old)
+    new = BenchTrajectory.load(args.new)
+    cmp = compare_trajectories(old, new, threshold=args.threshold)
+    print(cmp.render(), file=out)
+    if args.report_only:
+        return 0
+    return 0 if cmp.ok else 1
+
+
 def _run(args, out) -> int:
     if args.command == "stats":
         lake = DataLake.from_directory(args.lake_dir)
@@ -161,6 +445,18 @@ def _run(args, out) -> int:
 
     if args.command == "profile":
         return _run_profile(args, out)
+
+    if args.command == "query":
+        return _run_query(args, out)
+
+    if args.command == "serve-metrics":
+        return _run_serve_metrics(args, out)
+
+    if args.command == "bench":
+        return _run_bench(args, out)
+
+    if args.command == "bench-compare":
+        return _run_bench_compare(args, out)
 
     if args.command == "keyword":
         system = _system(args.lake_dir, need_embeddings=False)
@@ -209,17 +505,32 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     out = sys.stdout
     obs.configure_logging(getattr(args, "verbose", 0))
-    # `profile` manages tracing itself; --profile wraps any other command.
-    profiling = getattr(args, "profile", False) and args.command != "profile"
-    if profiling:
+    # `profile` manages tracing itself; --profile wraps any other command,
+    # and --trace-out implies span collection (a trace needs spans).
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    capturing = (
+        getattr(args, "profile", False) or bool(trace_out)
+    ) and args.command != "profile"
+    if capturing:
         obs.reset()
         obs.enable_tracing()
     try:
         return _run(args, out)
     finally:
-        if profiling:
+        if capturing:
             obs.disable_tracing()
+        if capturing and getattr(args, "profile", False):
             print("\n-- profile: spans --", file=out)
             print(TRACER.render(), file=out)
             print("\n-- profile: metrics --", file=out)
             print(METRICS.render(), file=out)
+        if trace_out:
+            with open(trace_out, "w", encoding="utf-8") as f:
+                json.dump(TRACER.to_chrome_trace(), f)
+                f.write("\n")
+            print(f"wrote {trace_out}", file=out)
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as f:
+                f.write(METRICS.to_prometheus())
+            print(f"wrote {metrics_out}", file=out)

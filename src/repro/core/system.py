@@ -22,19 +22,20 @@ import numpy as np
 from repro.apps.arda import ArdaAugmenter, AugmentationReport
 from repro.core.config import DiscoveryConfig, PipelineStats
 from repro.core.errors import LakeError
-from repro.obs import METRICS, TRACER, get_logger
+from repro.obs import METRICS, QUERY_LOG, TRACER, get_logger
+from repro.obs.querylog import QueryRecord
 from repro.datalake.lake import DataLake
 from repro.datalake.ontology import Ontology
 from repro.datalake.table import Column, ColumnRef, Table
 from repro.graph.aurum import EnterpriseKnowledgeGraph
 from repro.graph.organize import Organization
 from repro.graph.ronin import RoninExplorer
-from repro.search.correlated import CorrelatedHit, CorrelatedSearch
+from repro.search.correlated import CorrelatedSearch
+from repro.search.explain import ExplainReport, summarize_results
 from repro.search.joinable import JoinableSearch, JoinSearchConfig
-from repro.search.keyword import KeywordHit, KeywordSearchEngine
-from repro.search.mate import MateHit, MateIndex
+from repro.search.keyword import KeywordSearchEngine
+from repro.search.mate import MateIndex
 from repro.search.pexeso import PexesoIndex
-from repro.search.results import ColumnResult, TableResult
 from repro.search.union_santos import SantosUnionSearch
 from repro.search.union_starmie import StarmieConfig, StarmieUnionSearch
 from repro.search.union_tus import TableUnionSearch, TusConfig
@@ -44,6 +45,31 @@ from repro.understanding.domains import DiscoveredDomain, DomainDiscovery
 from repro.understanding.embedding import EmbeddingSpace, train_embeddings
 
 log = get_logger("core.system")
+
+
+class _QueryCapture:
+    """Mutable holder threaded through ``_query_span``: the active span
+    plus the result summary / EXPLAIN funnel captured for the query log."""
+
+    __slots__ = ("span", "results", "funnel")
+
+    def __init__(self):
+        self.span = None
+        self.results: list[tuple[str, float]] = []
+        self.funnel: dict[str, int] = {}
+
+    def set(self, key, value) -> "_QueryCapture":
+        """Attach a span attribute (no-op span while tracing is off)."""
+        self.span.set(key, value)
+        return self
+
+    def finish(self, hits: list, report: ExplainReport | None = None) -> None:
+        """Record the query outcome: hit count attr, result summary, and
+        (when the query ran with explain) the funnel counts."""
+        self.span.set("hits", len(hits))
+        self.results = summarize_results(hits)
+        if report is not None:
+            self.funnel = report.counts()
 
 
 class DiscoverySystem:
@@ -220,27 +246,57 @@ class DiscoverySystem:
             )
 
     @contextmanager
-    def _query_span(self, engine: str, **attrs):
-        """Per-query observability: a ``query.<engine>`` span plus latency
-        histogram and query counter (always recorded; span is a no-op when
-        tracing is disabled)."""
+    def _query_span(self, engine: str, query_repr: str = "", **attrs):
+        """Per-query observability: a ``query.<engine>`` span, latency
+        histogram, query counter, and a structured :class:`QueryRecord`
+        appended to the process-wide query log (always recorded; the span
+        is a no-op when tracing is disabled)."""
         t0 = time.perf_counter()
-        with TRACER.span(f"query.{engine}", **attrs) as sp:
-            yield sp
-        latency_ms = (time.perf_counter() - t0) * 1000
-        METRICS.inc(f"query.{engine}.count")
-        METRICS.observe("query.latency_ms", latency_ms)
-        METRICS.observe(f"query.{engine}.latency_ms", latency_ms)
+        capture = _QueryCapture()
+        error: str | None = None
+        try:
+            with TRACER.span(f"query.{engine}", **attrs) as sp:
+                capture.span = sp
+                yield capture
+        except Exception as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            latency_ms = (time.perf_counter() - t0) * 1000
+            METRICS.inc(f"query.{engine}.count")
+            METRICS.observe("query.latency_ms", latency_ms)
+            METRICS.observe(f"query.{engine}.latency_ms", latency_ms)
+            QUERY_LOG.append(
+                QueryRecord(
+                    engine=engine,
+                    query=query_repr,
+                    k=int(attrs.get("k", 0) or 0),
+                    latency_ms=latency_ms,
+                    results=capture.results,
+                    funnel=capture.funnel,
+                    status="error" if error else "ok",
+                    error=error,
+                )
+            )
 
     # -- online: table search engine ---------------------------------------------------
 
-    def keyword_search(self, query: str, k: int = 10) -> list[KeywordHit]:
-        """Metadata keyword search (§2.3)."""
+    def keyword_search(self, query: str, k: int = 10, explain: bool = False):
+        """Metadata keyword search (§2.3).
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         self._require_built()
-        with self._query_span("keyword", query=query, k=k) as sp:
-            hits = self._keyword.search(query, k)
-            sp.set("hits", len(hits))
-        return hits
+        report: ExplainReport | None = None
+        with self._query_span(
+            "keyword", query_repr=query, query=query, k=k
+        ) as q:
+            if explain:
+                hits, report = self._keyword.search(query, k, explain=True)
+            else:
+                hits = self._keyword.search(query, k)
+            q.finish(hits, report)
+        return (hits, report) if explain else hits
 
     def joinable_search(
         self,
@@ -248,91 +304,182 @@ class DiscoverySystem:
         k: int = 10,
         method: str = "exact",
         threshold: float | None = None,
-    ) -> list[ColumnResult]:
+        explain: bool = False,
+    ):
         """Joinable table search (§2.4): 'exact' (JOSIE) or 'containment'
-        (LSH Ensemble) over the query column."""
+        (LSH Ensemble) over the query column.
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         self._require_built()
         exclude = None
+        query_repr = f"column<{getattr(column, 'name', '?')}>"
         if isinstance(column, ColumnRef):
             exclude = column.table
+            query_repr = str(column)
             column = self.lake.column(column)
-        with self._query_span("join", method=method, k=k) as sp:
+        report: ExplainReport | None = None
+        with self._query_span(
+            "join", query_repr=query_repr, method=method, k=k
+        ) as q:
             if method == "exact":
-                hits = self._joinable.exact_topk(column, k, exclude_table=exclude)
+                if explain:
+                    hits, report = self._joinable.exact_topk(
+                        column, k, exclude_table=exclude, explain=True
+                    )
+                else:
+                    hits = self._joinable.exact_topk(
+                        column, k, exclude_table=exclude
+                    )
             elif method == "containment":
                 t = threshold or self.config.containment_threshold
-                hits = self._joinable.containment(
-                    column, t, exclude_table=exclude
-                )[:k]
+                if explain:
+                    hits, report = self._joinable.containment(
+                        column, t, exclude_table=exclude, explain=True
+                    )
+                    hits = hits[:k]
+                    report.k = k
+                    report.stage("returned", len(hits))
+                    report.results = summarize_results(hits)
+                else:
+                    hits = self._joinable.containment(
+                        column, t, exclude_table=exclude
+                    )[:k]
             else:
                 raise ValueError(f"unknown join method {method!r}")
-            sp.set("hits", len(hits))
-        return hits
+            q.finish(hits, report)
+        return (hits, report) if explain else hits
 
     def fuzzy_joinable_search(
-        self, column: Column | ColumnRef, k: int = 10
-    ) -> list[ColumnResult]:
-        """PEXESO-style fuzzy joinable search over embeddings (§2.4)."""
+        self, column: Column | ColumnRef, k: int = 10, explain: bool = False
+    ):
+        """PEXESO-style fuzzy joinable search over embeddings (§2.4).
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         self._require_built()
         if self._pexeso is None:
             raise LakeError("embeddings disabled: fuzzy join unavailable")
         exclude = None
+        query_repr = f"column<{getattr(column, 'name', '?')}>"
         if isinstance(column, ColumnRef):
             exclude = column.table
+            query_repr = str(column)
             column = self.lake.column(column)
-        with self._query_span("fuzzy_join", k=k) as sp:
-            hits = self._pexeso.search(column, k, exclude_table=exclude)
-            sp.set("hits", len(hits))
-        return hits
+        report: ExplainReport | None = None
+        with self._query_span("fuzzy_join", query_repr=query_repr, k=k) as q:
+            if explain:
+                hits, report = self._pexeso.search(
+                    column, k, exclude_table=exclude, explain=True
+                )
+            else:
+                hits = self._pexeso.search(column, k, exclude_table=exclude)
+            q.finish(hits, report)
+        return (hits, report) if explain else hits
 
     def multi_attribute_search(
-        self, query: Table, key_columns: list[int], k: int = 10
-    ) -> list[MateHit]:
-        """MATE-style composite-key joinable search (§2.4)."""
+        self,
+        query: Table,
+        key_columns: list[int],
+        k: int = 10,
+        explain: bool = False,
+    ):
+        """MATE-style composite-key joinable search (§2.4).
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         self._require_built()
+        report: ExplainReport | None = None
         with self._query_span(
-            "multi_attribute", key_columns=tuple(key_columns), k=k
-        ) as sp:
-            hits = self._mate.search(query, key_columns, k)
-            sp.set("hits", len(hits))
-        return hits
+            "multi_attribute",
+            query_repr=f"{query.name}{key_columns}",
+            key_columns=tuple(key_columns),
+            k=k,
+        ) as q:
+            if explain:
+                hits, report = self._mate.search(
+                    query, key_columns, k, explain=True
+                )
+            else:
+                hits = self._mate.search(query, key_columns, k)
+            q.finish(hits, report)
+        return (hits, report) if explain else hits
 
     def unionable_search(
-        self, query: Table | str, k: int = 10, method: str = "starmie"
-    ) -> list[TableResult]:
-        """Unionable table search (§2.5): 'tus', 'santos', or 'starmie'."""
+        self,
+        query: Table | str,
+        k: int = 10,
+        method: str = "starmie",
+        explain: bool = False,
+    ):
+        """Unionable table search (§2.5): 'tus', 'santos', or 'starmie'.
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         self._require_built()
         if isinstance(query, str):
             query = self.lake.table(query)
+        report: ExplainReport | None = None
         with self._query_span(
-            "union", method=method, table=query.name, k=k
-        ) as sp:
+            "union", query_repr=query.name, method=method, table=query.name, k=k
+        ) as q:
             if method == "tus":
-                hits = self._tus.search(query, k)
+                if explain:
+                    hits, report = self._tus.search(query, k, explain=True)
+                else:
+                    hits = self._tus.search(query, k)
             elif method == "santos":
                 if self._santos is None:
                     raise LakeError("no ontology: SANTOS unavailable")
                 hits = self._santos.search(query, k)
+                if explain:
+                    report = ExplainReport("santos", query=query.name, k=k)
+                    report.stage("returned", len(hits))
+                    report.results = summarize_results(hits)
             elif method == "starmie":
                 if self._starmie is None:
                     raise LakeError("embeddings disabled: Starmie unavailable")
-                hits = self._starmie.search(query, k)
+                if explain:
+                    hits, report = self._starmie.search(query, k, explain=True)
+                else:
+                    hits = self._starmie.search(query, k)
             else:
                 raise ValueError(f"unknown union method {method!r}")
-            sp.set("hits", len(hits))
-        return hits
+            q.finish(hits, report)
+        return (hits, report) if explain else hits
 
     def correlated_search(
-        self, query: Table | str, key_column: int, value_column: int, k: int = 10
-    ) -> list[CorrelatedHit]:
-        """Joinable-and-correlated search via QCR sketches (§2.4)."""
+        self,
+        query: Table | str,
+        key_column: int,
+        value_column: int,
+        k: int = 10,
+        explain: bool = False,
+    ):
+        """Joinable-and-correlated search via QCR sketches (§2.4).
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         self._require_built()
         if isinstance(query, str):
             query = self.lake.table(query)
-        with self._query_span("correlated", table=query.name, k=k) as sp:
-            hits = self._correlated.search(query, key_column, value_column, k)
-            sp.set("hits", len(hits))
-        return hits
+        report: ExplainReport | None = None
+        with self._query_span(
+            "correlated",
+            query_repr=f"{query.name}[{key_column},{value_column}]",
+            table=query.name,
+            k=k,
+        ) as q:
+            if explain:
+                hits, report = self._correlated.search(
+                    query, key_column, value_column, k, explain=True
+                )
+            else:
+                hits = self._correlated.search(
+                    query, key_column, value_column, k
+                )
+            q.finish(hits, report)
+        return (hits, report) if explain else hits
 
     # -- online: navigation -------------------------------------------------------------
 

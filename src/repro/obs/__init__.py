@@ -27,7 +27,13 @@ from typing import Any
 
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
-from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    prometheus_name,
+)
+from repro.obs.querylog import QUERY_LOG, QueryLog, QueryRecord
 from repro.obs.trace import NOOP_SPAN, Span, Tracer
 
 #: Process-wide tracer; disabled by default (spans become no-ops).
@@ -46,18 +52,31 @@ def disable_tracing() -> None:
 
 
 def reset() -> None:
-    """Clear all collected spans and metrics (state flags are kept)."""
+    """Clear collected spans, metrics, and query records (flags are kept)."""
     TRACER.reset()
     METRICS.reset()
+    QUERY_LOG.clear()
 
 
 def report(extra: dict[str, Any] | None = None) -> dict[str, Any]:
-    """A JSON-ready observability report: span tree + metrics snapshot."""
+    """A JSON-ready observability report: span tree + metrics snapshot +
+    recent query records."""
     out: dict[str, Any] = dict(extra or {})
     out["spans"] = TRACER.to_dicts()
     out["metrics"] = METRICS.snapshot()
+    out["querylog"] = QUERY_LOG.to_dicts()
     return out
 
+
+# Imported late: these modules read the singletons defined above.
+from repro.obs.export import (  # noqa: E402
+    telemetry_lines,
+    to_chrome_trace,
+    to_chrome_trace_json,
+    to_prometheus,
+    write_telemetry,
+)
+from repro.obs.server import ObservabilityServer  # noqa: E402
 
 __all__ = [
     "DEFAULT_BUCKETS",
@@ -65,6 +84,10 @@ __all__ = [
     "METRICS",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "ObservabilityServer",
+    "QUERY_LOG",
+    "QueryLog",
+    "QueryRecord",
     "Span",
     "TRACER",
     "Tracer",
@@ -72,6 +95,12 @@ __all__ = [
     "disable_tracing",
     "enable_tracing",
     "get_logger",
+    "prometheus_name",
     "report",
     "reset",
+    "telemetry_lines",
+    "to_chrome_trace",
+    "to_chrome_trace_json",
+    "to_prometheus",
+    "write_telemetry",
 ]

@@ -1,0 +1,126 @@
+"""Telemetry exporters: Prometheus text, Chrome trace JSON, JSONL dump.
+
+Thin conveniences over the process-wide singletons (``obs.METRICS``,
+``obs.TRACER``, ``obs.QUERY_LOG``); each also accepts an explicit object so
+tests and embedders can export private registries/tracers.
+
+* :func:`to_prometheus` — Prometheus text exposition (version 0.0.4);
+* :func:`to_chrome_trace` — trace-event JSON loadable by ``chrome://tracing``
+  and https://ui.perfetto.dev;
+* :func:`telemetry_lines` / :func:`write_telemetry` — one self-describing
+  JSON object per line (``{"type": "span" | "counter" | "gauge" |
+  "histogram" | "query", ...}``) for ingestion into log pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry, prometheus_name
+from repro.obs.querylog import QueryLog
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "prometheus_name",
+    "telemetry_lines",
+    "to_chrome_trace",
+    "to_chrome_trace_json",
+    "to_prometheus",
+    "write_telemetry",
+]
+
+
+def _defaults(
+    registry: MetricsRegistry | None,
+    tracer: Tracer | None,
+    querylog: QueryLog | None,
+):
+    from repro import obs
+
+    return (
+        registry if registry is not None else obs.METRICS,
+        tracer if tracer is not None else obs.TRACER,
+        querylog if querylog is not None else obs.QUERY_LOG,
+    )
+
+
+def to_prometheus(
+    registry: MetricsRegistry | None = None, prefix: str = "repro"
+) -> str:
+    """Prometheus text page for ``registry`` (default: the global one)."""
+    registry, _, _ = _defaults(registry, None, None)
+    return registry.to_prometheus(prefix=prefix)
+
+
+def to_chrome_trace(tracer: Tracer | None = None) -> dict[str, Any]:
+    """Chrome trace-event dict for ``tracer`` (default: the global one)."""
+    _, tracer, _ = _defaults(None, tracer, None)
+    return tracer.to_chrome_trace()
+
+
+def to_chrome_trace_json(
+    tracer: Tracer | None = None, indent: int | None = None
+) -> str:
+    return json.dumps(to_chrome_trace(tracer), indent=indent)
+
+
+def telemetry_lines(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    querylog: QueryLog | None = None,
+    extra: dict[str, Any] | None = None,
+) -> Iterator[str]:
+    """Yield one JSON line per telemetry item (spans, metrics, queries)."""
+    registry, tracer, querylog = _defaults(registry, tracer, querylog)
+    if extra:
+        yield json.dumps({"type": "meta", **extra}, sort_keys=True)
+    for root in tracer.roots():
+        for depth, span in _walk_with_depth(root, 0):
+            yield json.dumps(
+                {
+                    "type": "span",
+                    "name": span.name,
+                    "depth": depth,
+                    "duration_ms": round(span.duration_s * 1000, 3),
+                    "attrs": span.to_dict()["attrs"],
+                },
+                sort_keys=True,
+            )
+    snap = registry.snapshot()
+    for name, value in snap["counters"].items():
+        yield json.dumps(
+            {"type": "counter", "name": name, "value": value}, sort_keys=True
+        )
+    for name, value in snap["gauges"].items():
+        yield json.dumps(
+            {"type": "gauge", "name": name, "value": value}, sort_keys=True
+        )
+    for name, hist in snap["histograms"].items():
+        yield json.dumps(
+            {"type": "histogram", "name": name, **hist}, sort_keys=True
+        )
+    for record in querylog.to_dicts():
+        yield json.dumps({"type": "query", **record}, sort_keys=True)
+
+
+def _walk_with_depth(span, depth: int):
+    yield depth, span
+    for child in span.children:
+        yield from _walk_with_depth(child, depth + 1)
+
+
+def write_telemetry(
+    path: str,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    querylog: QueryLog | None = None,
+    extra: dict[str, Any] | None = None,
+) -> int:
+    """Write the JSONL telemetry dump to ``path``; returns the line count."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as f:
+        for line in telemetry_lines(registry, tracer, querylog, extra):
+            f.write(line + "\n")
+            n += 1
+    return n

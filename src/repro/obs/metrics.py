@@ -15,8 +15,20 @@ loops, so the always-on registry stays cheap.
 from __future__ import annotations
 
 import math
+import re
 import threading
 from typing import Any
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """A Prometheus-legal metric name: prefixed, dots/dashes -> underscores."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _PROM_BAD.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
 
 #: Default histogram buckets, tuned for per-query latencies in milliseconds.
 DEFAULT_BUCKETS = (
@@ -125,7 +137,12 @@ class MetricsRegistry:
             )
 
     def snapshot(self) -> dict[str, Any]:
-        """Deterministic (sorted-key) plain-dict dump of every metric."""
+        """Deterministic plain-dict dump of every metric.
+
+        Keys are sorted lexicographically and histogram buckets ascend by
+        bound with ``+inf`` last, regardless of recording order — exporter
+        output and test goldens built on a snapshot are byte-stable.
+        """
         with self._lock:
             return {
                 "counters": {
@@ -139,6 +156,48 @@ class MetricsRegistry:
                     for k in sorted(self._histograms)
                 },
             }
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition (version 0.0.4) of every metric.
+
+        Counters get a ``_total`` suffix; histograms emit cumulative
+        ``_bucket{le="..."}`` series ending in ``le="+Inf"`` plus ``_sum``
+        and ``_count``.  Output is deterministic: families sort by name and
+        ``le`` labels ascend, so two identical registries render
+        byte-identical pages.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            hists = {
+                name: (h.buckets, tuple(h.counts), h.overflow, h.count, h.sum)
+                for name, h in self._histograms.items()
+            }
+        lines: list[str] = []
+        for name in sorted(counters):
+            pname = prometheus_name(name, prefix)
+            if not pname.endswith("_total"):
+                pname += "_total"
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {counters[name]:g}")
+        for name in sorted(gauges):
+            pname = prometheus_name(name, prefix)
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {gauges[name]:g}")
+        for name in sorted(hists):
+            bounds, bucket_counts, overflow, count, total = hists[name]
+            pname = prometheus_name(name, prefix)
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for bound, c in zip(bounds, bucket_counts):
+                cumulative += c
+                lines.append(
+                    f'{pname}_bucket{{le="{bound:g}"}} {cumulative}'
+                )
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{pname}_sum {total:g}")
+            lines.append(f"{pname}_count {count}")
+        return "\n".join(lines) + "\n"
 
     def render(self) -> str:
         """Human-readable metrics dump."""

@@ -1,0 +1,137 @@
+"""Structured query log: a bounded ring of per-query records.
+
+Every online query the :class:`~repro.core.system.DiscoverySystem` serves
+appends one :class:`QueryRecord` — engine, query, k, latency, the returned
+result ids/scores, and (when the query ran with ``explain=True``) the
+candidate-funnel counts.  The ring is bounded (oldest records drop first)
+so the log is safe to leave on under sustained traffic; an optional JSONL
+sink persists every record as it arrives.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass
+class QueryRecord:
+    """One served query: what was asked, what came back, and how fast."""
+
+    engine: str
+    query: str = ""
+    k: int = 0
+    latency_ms: float = 0.0
+    #: ``(result id, score)`` pairs, truncated to the first ~20 hits.
+    results: list[tuple[str, float]] = field(default_factory=list)
+    #: EXPLAIN funnel counts (``{stage: count}``) when available.
+    funnel: dict[str, int] = field(default_factory=dict)
+    status: str = "ok"
+    error: str | None = None
+    ts: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "ts": round(self.ts, 3),
+            "engine": self.engine,
+            "query": self.query,
+            "k": self.k,
+            "latency_ms": round(self.latency_ms, 3),
+            "status": self.status,
+            "results": [[str(i), float(s)] for i, s in self.results],
+        }
+        if self.funnel:
+            out["funnel"] = dict(self.funnel)
+        if self.error:
+            out["error"] = self.error
+        return out
+
+
+class QueryLog:
+    """Thread-safe bounded ring of :class:`QueryRecord` with a JSONL sink."""
+
+    def __init__(self, capacity: int = 1024):
+        self._lock = threading.Lock()
+        self._ring: deque[QueryRecord] = deque(maxlen=capacity)
+        self._sink_path: str | None = None
+        self._total = 0
+
+    # -- configuration ---------------------------------------------------------------
+
+    def configure(
+        self,
+        capacity: int | None = None,
+        sink: str | None = None,
+    ) -> "QueryLog":
+        """Resize the ring and/or set a JSONL sink path (``None`` keeps,
+        ``""`` clears the sink)."""
+        with self._lock:
+            if capacity is not None:
+                self._ring = deque(self._ring, maxlen=capacity)
+            if sink is not None:
+                self._sink_path = sink or None
+        return self
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    @property
+    def total(self) -> int:
+        """Records ever appended (including ones the ring has dropped)."""
+        with self._lock:
+            return self._total
+
+    # -- recording -------------------------------------------------------------------
+
+    def append(self, record: QueryRecord) -> None:
+        if not record.ts:
+            record.ts = time.time()
+        with self._lock:
+            self._ring.append(record)
+            self._total += 1
+            sink = self._sink_path
+        if sink:
+            line = json.dumps(record.to_dict(), sort_keys=True)
+            with open(sink, "a", encoding="utf-8") as f:
+                f.write(line + "\n")
+
+    # -- reading ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def records(self) -> list[QueryRecord]:
+        with self._lock:
+            return list(self._ring)
+
+    def tail(self, n: int) -> list[QueryRecord]:
+        """The most recent ``n`` records, oldest first."""
+        with self._lock:
+            return list(self._ring)[-max(0, n):]
+
+    def to_dicts(self, n: int | None = None) -> list[dict[str, Any]]:
+        recs: Iterable[QueryRecord] = (
+            self.records() if n is None else self.tail(n)
+        )
+        return [r.to_dict() for r in recs]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest record first."""
+        return "\n".join(
+            json.dumps(d, sort_keys=True) for d in self.to_dicts()
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._total = 0
+
+
+#: Process-wide query log, fed by ``DiscoverySystem``'s online query paths.
+QUERY_LOG = QueryLog()

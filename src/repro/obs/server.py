@@ -1,0 +1,147 @@
+"""Stdlib-only observability HTTP endpoint.
+
+:class:`ObservabilityServer` runs a ``http.server.ThreadingHTTPServer`` on
+a background daemon thread and serves the process-wide telemetry:
+
+* ``GET /metrics``  — Prometheus text exposition (scrape target);
+* ``GET /health``   — liveness JSON (status, uptime, queries served);
+* ``GET /querylog`` — recent query records as JSON (``?n=50`` limits);
+* ``GET /trace``    — Chrome trace-event JSON of collected spans.
+
+``port=0`` binds an ephemeral port (the bound port is available as
+``server.port`` after :meth:`ObservabilityServer.start`), which is what the
+tests use.  The CLI front-end is ``repro serve-metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.log import get_logger
+
+log = get_logger("obs.server")
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        from repro import obs
+
+        split = urlsplit(self.path)
+        try:
+            if split.path == "/metrics":
+                self._send(200, obs.METRICS.to_prometheus(), PROMETHEUS_CONTENT_TYPE)
+            elif split.path == "/health":
+                body = {
+                    "status": "ok",
+                    "uptime_s": round(time.time() - self.server.started_at, 3),
+                    "queries_logged": obs.QUERY_LOG.total,
+                    "tracing": obs.TRACER.enabled,
+                }
+                self._send_json(200, body)
+            elif split.path == "/querylog":
+                params = parse_qs(split.query)
+                n = None
+                if "n" in params:
+                    try:
+                        n = max(0, int(params["n"][0]))
+                    except ValueError:
+                        self._send_json(400, {"error": "n must be an integer"})
+                        return
+                records = obs.QUERY_LOG.to_dicts(n)
+                self._send_json(
+                    200,
+                    {
+                        "total": obs.QUERY_LOG.total,
+                        "returned": len(records),
+                        "records": records,
+                    },
+                )
+            elif split.path == "/trace":
+                self._send_json(200, obs.TRACER.to_chrome_trace())
+            else:
+                self._send_json(404, {"error": f"no route {split.path}"})
+        except Exception as exc:  # pragma: no cover - defensive
+            log.exception("request failed: %s", exc)
+            self._send_json(500, {"error": type(exc).__name__})
+
+    def _send(self, code: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_json(self, code: int, body) -> None:
+        self._send(code, json.dumps(body), "application/json; charset=utf-8")
+
+    def log_message(self, fmt: str, *args) -> None:
+        log.debug("%s - %s", self.address_string(), fmt % args)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    started_at: float = 0.0
+
+
+class ObservabilityServer:
+    """Background-thread HTTP server over the global telemetry objects."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.host = host
+        self._requested_port = port
+        self._httpd: _Server | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ObservabilityServer":
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        self._httpd = _Server((self.host, self._requested_port), _Handler)
+        self._httpd.started_at = time.time()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        log.info("observability server listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

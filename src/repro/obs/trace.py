@@ -29,7 +29,9 @@ def _jsonable(value: Any) -> Any:
 class Span:
     """One timed, attributed unit of work.  Use as a context manager."""
 
-    __slots__ = ("name", "attrs", "children", "duration_s", "_tracer", "_t0")
+    __slots__ = (
+        "name", "attrs", "children", "duration_s", "_tracer", "_t0", "_tid"
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
         self._tracer = tracer
@@ -38,9 +40,20 @@ class Span:
         self.children: list[Span] = []
         self.duration_s: float = 0.0
         self._t0 = 0.0
+        self._tid = 0
+
+    @property
+    def start_s(self) -> float:
+        """``time.perf_counter()`` at span entry (same clock as siblings)."""
+        return self._t0
+
+    @property
+    def thread_id(self) -> int:
+        return self._tid
 
     def __enter__(self) -> "Span":
         self._tracer._stack().append(self)
+        self._tid = threading.get_ident()
         self._t0 = time.perf_counter()
         return self
 
@@ -169,6 +182,37 @@ class Tracer:
 
     def export_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dicts(), indent=indent)
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """Chrome/Perfetto trace-event JSON of every collected span.
+
+        Emits complete (``"ph": "X"``) events with microsecond timestamps
+        relative to the earliest span, one virtual thread per real thread,
+        so ``chrome://tracing`` / https://ui.perfetto.dev render the span
+        forest as nested slices.
+        """
+        spans = self.spans()
+        if not spans:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        base = min(s.start_s for s in spans)
+        tids = {s.thread_id for s in spans}
+        tid_map = {tid: i + 1 for i, tid in enumerate(sorted(tids))}
+        events = []
+        for s in spans:
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": round((s.start_s - base) * 1e6, 3),
+                    "dur": round(s.duration_s * 1e6, 3),
+                    "pid": 1,
+                    "tid": tid_map[s.thread_id],
+                    "args": {k: _jsonable(v) for k, v in s.attrs.items()},
+                }
+            )
+        events.sort(key=lambda e: (e["ts"], -e["dur"], e["name"]))
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def render(self) -> str:
         """Human-readable indented span tree with durations."""

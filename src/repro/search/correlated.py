@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.obs import METRICS, TRACER
+from repro.search.explain import ExplainReport, summarize_results
 from repro.sketch.qcr import CorrelationSketch, pearson
 
 
@@ -71,8 +72,12 @@ class CorrelatedSearch:
         value_column: int,
         k: int = 10,
         min_containment: float = 0.3,
-    ) -> list[CorrelatedHit]:
-        """Top-k candidate columns by estimated post-join |correlation|."""
+        explain: bool = False,
+    ):
+        """Top-k candidate columns by estimated post-join |correlation|.
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         qsketch = CorrelationSketch.from_pairs(
             _key_value_pairs(query, key_column, value_column),
             n=self.sketch_size,
@@ -96,7 +101,24 @@ class CorrelatedSearch:
         sp = TRACER.current()
         sp.set("qcr.sketches_compared", compared)
         sp.set("qcr.pruned_by_containment", pruned)
-        return sorted(hits)[:k]
+        out = sorted(hits)[:k]
+        if explain:
+            report = ExplainReport(
+                "qcr",
+                query=f"{query.name}[{key_column},{value_column}]",
+                k=k,
+                params={
+                    "min_containment": min_containment,
+                    "sketch_size": self.sketch_size,
+                },
+            )
+            report.stage("sketches_indexed", len(self._sketches))
+            report.stage("compared", compared)
+            report.stage("passed_containment", compared - pruned)
+            report.stage("returned", len(out))
+            report.results = summarize_results(out)
+            return out, report
+        return out
 
 
 def exact_join_correlation(

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Column, ColumnRef
 from repro.obs import METRICS, TRACER
+from repro.search.explain import ExplainReport, summarize_results
 from repro.search.josie import JosieIndex
 from repro.search.results import ColumnResult
 from repro.sketch.lsh import MinHashLSH
@@ -85,37 +86,66 @@ class JoinableSearch:
     # -- online -------------------------------------------------------------------
 
     def exact_topk(
-        self, column: Column, k: int = 10, exclude_table: str | None = None
-    ) -> list[ColumnResult]:
-        """JOSIE exact top-k joinable columns by overlap with the query."""
+        self,
+        column: Column,
+        k: int = 10,
+        exclude_table: str | None = None,
+        explain: bool = False,
+    ):
+        """JOSIE exact top-k joinable columns by overlap with the query.
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         self._require_built()
         values = self._query_values(column)
-        raw = self._josie.topk(values, k + 8)
+        raw, stats = self._josie.topk_with_stats(values, k + 8)
         out = [
             ColumnResult(ref, overlap / max(len(values), 1))
             for ref, overlap in raw
             if exclude_table is None or ref.table != exclude_table
         ]
-        return sorted(out)[:k]
+        out = sorted(out)[:k]
+        if explain:
+            report = ExplainReport(
+                "josie",
+                query=f"column<{len(values)} values>",
+                k=k,
+                params={
+                    "query_tokens": stats["query_tokens"],
+                    "posting_lists_read": stats["posting_lists_read"],
+                    "posting_entries_read": stats["posting_entries_read"],
+                },
+            )
+            report.stage("indexed_sets", len(self._josie))
+            report.stage("candidates_examined", stats["candidates_examined"])
+            report.stage("verified", stats["sets_verified"])
+            report.stage("positive_overlap", len(raw))
+            report.stage("returned", len(out))
+            report.results = summarize_results(out)
+            return out, report
+        return out
 
     def containment(
         self,
         column: Column,
         threshold: float = 0.5,
         exclude_table: str | None = None,
-    ) -> list[ColumnResult]:
+        explain: bool = False,
+    ):
         """LSH Ensemble candidates verified to containment >= threshold.
 
         The ensemble is the filter; verification is *exact* against the
         stored value sets (the standard filter-verify architecture), so
         precision is 1.0 and recall is bounded only by the filter.
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
         """
         self._require_built()
         values = self._query_values(column)
         mh = MinHash.from_values(values, num_perm=self.config.num_perm)
+        candidates = list(self._ensemble.query(mh, len(values), threshold))
         out = []
         checked = 0
-        for ref in self._ensemble.query(mh, len(values), threshold):
+        for ref in candidates:
             if exclude_table is not None and ref.table == exclude_table:
                 continue
             checked += 1
@@ -129,7 +159,25 @@ class JoinableSearch:
         sp = TRACER.current()
         sp.set("containment.candidates_checked", checked)
         sp.set("containment.results", len(out))
-        return sorted(out)
+        out = sorted(out)
+        if explain:
+            report = ExplainReport(
+                "lshensemble",
+                query=f"column<{len(values)} values>",
+                k=0,
+                params={
+                    "threshold": threshold,
+                    "num_perm": self.config.num_perm,
+                    "num_partitions": self.config.num_partitions,
+                },
+            )
+            report.stage("indexed_columns", len(self._sizes))
+            report.stage("candidates", len(candidates))
+            report.stage("checked", checked)
+            report.stage("passed_threshold", len(out))
+            report.results = summarize_results(out)
+            return out, report
+        return out
 
     def containment_candidates(
         self, column: Column, threshold: float = 0.5

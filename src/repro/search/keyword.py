@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.datalake.lake import DataLake
 from repro.datalake.table import tokenize
 from repro.obs import METRICS, TRACER
+from repro.search.explain import ExplainReport, summarize_results
 
 
 @dataclass(frozen=True)
@@ -84,8 +85,11 @@ class KeywordSearchEngine:
         df = self._df.get(token, 0)
         return math.log(1 + (n - df + 0.5) / (df + 0.5))
 
-    def search(self, query: str, k: int = 10) -> list[KeywordHit]:
-        """Top-k tables by BM25 score for a keyword query."""
+    def search(self, query: str, k: int = 10, explain: bool = False):
+        """Top-k tables by BM25 score for a keyword query.
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         q_tokens = tokenize(query)
         hits = []
         for name, counts in self._docs.items():
@@ -108,6 +112,18 @@ class KeywordSearchEngine:
         sp = TRACER.current()
         sp.set("keyword.docs_scored", len(self._docs))
         sp.set("keyword.candidates", len(hits))
+        if explain:
+            report = ExplainReport(
+                "keyword",
+                query=query,
+                k=k,
+                params={"k1": self.k1, "b": self.b},
+            )
+            report.stage("documents_indexed", len(self._docs))
+            report.stage("matched", len(hits), query_tokens=len(q_tokens))
+            report.stage("returned", len(out))
+            report.results = summarize_results(out)
+            return out, report
         return out
 
     def search_clustered(

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
 from repro.obs import METRICS, TRACER
+from repro.search.explain import ExplainReport, summarize_results
 from repro.sketch.hashing import stable_hash64
 
 
@@ -77,12 +78,14 @@ class MateIndex:
         key_columns: list[int],
         k: int = 10,
         exclude: str | None = None,
-    ) -> list[MateHit]:
+        explain: bool = False,
+    ):
         """Top-k tables by fraction of query composite keys matched.
 
         A query key (tuple of cells) matches a candidate row if the row's
         super key covers all cell masks (filter) and the row actually
-        contains every cell (verification).
+        contains every cell (verification).  With ``explain=True`` returns
+        ``(hits, ExplainReport)``.
         """
         qkeys = []
         for i in range(query.num_rows):
@@ -95,6 +98,10 @@ class MateIndex:
                     mask |= _cell_mask(cell, self.bits)
                 qkeys.append((cells, mask))
         if not qkeys:
+            if explain:
+                return [], ExplainReport(
+                    "mate", query="<no usable query keys>", k=k
+                )
             return []
         distinct = {}
         for cells, mask in qkeys:
@@ -102,6 +109,7 @@ class MateIndex:
         hits = []
         rows_checked = 0
         rows_passed_filter = 0
+        keys_matched = 0
         for name, rows in self._rows.items():
             if name == (exclude or query.name):
                 continue
@@ -119,15 +127,36 @@ class MateIndex:
                 if found:
                     matched += 1
             if matched:
+                keys_matched += matched
                 hits.append(MateHit(name, matched, len(distinct)))
         out = sorted(hits)[:k]
         METRICS.inc("search.mate.queries")
         METRICS.inc("search.mate.rows_checked", rows_checked)
         METRICS.inc("search.mate.rows_passed_filter", rows_passed_filter)
+        METRICS.inc("search.mate.keys_matched", keys_matched)
         METRICS.inc("search.mate.tables_matched", len(hits))
         sp = TRACER.current()
         sp.set("mate.rows_checked", rows_checked)
         sp.set("mate.rows_passed_filter", rows_passed_filter)
+        if explain:
+            report = ExplainReport(
+                "mate",
+                query=f"composite<{len(distinct)} keys>",
+                k=k,
+                params={"bits": self.bits, "key_columns": str(key_columns)},
+            )
+            report.stage(
+                "rows_checked",
+                rows_checked,
+                query_keys=len(distinct),
+                tables=len(self._rows),
+            )
+            report.stage("rows_passed_filter", rows_passed_filter)
+            report.stage("keys_matched", keys_matched)
+            report.stage("tables_matched", len(hits))
+            report.stage("returned", len(out))
+            report.results = summarize_results(out)
+            return out, report
         return out
 
     def filter_stats(self, query: Table, key_columns: list[int]) -> dict:

@@ -19,6 +19,7 @@ import numpy as np
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Column, ColumnRef
 from repro.obs import METRICS, TRACER
+from repro.search.explain import ExplainReport, summarize_results
 from repro.search.results import ColumnResult
 from repro.sketch.hnsw import HNSW
 from repro.understanding.embedding import EmbeddingSpace
@@ -70,19 +71,28 @@ class PexesoIndex:
         return np.vstack(vecs) if vecs else np.zeros((0, self.space.dim))
 
     def search(
-        self, column: Column, k: int = 10, exclude_table: str | None = None
-    ) -> list[ColumnResult]:
+        self,
+        column: Column,
+        k: int = 10,
+        exclude_table: str | None = None,
+        explain: bool = False,
+    ):
         """Top-k fuzzy-joinable columns.
 
         Block: for each query value vector, HNSW retrieves near neighbours;
         columns hit by >= sigma * |Q| distinct query values are candidates.
-        Verify: exact cosine match fraction via a matrix product.
+        Verify: exact cosine match fraction via a matrix product.  With
+        ``explain=True`` returns ``(hits, ExplainReport)``.
         """
         if self._hnsw is None:
             raise RuntimeError("call build() before searching")
         cfg = self.config
         qvecs = self._query_vectors(column)
         if len(qvecs) == 0:
+            if explain:
+                return [], ExplainReport(
+                    "pexeso", query="<no embeddable query values>", k=k
+                )
             return []
         hits_per_column: dict[ColumnRef, set[int]] = defaultdict(set)
         for qi in range(len(qvecs)):
@@ -108,7 +118,26 @@ class PexesoIndex:
         sp = TRACER.current()
         sp.set("pexeso.columns_blocked", len(hits_per_column))
         sp.set("pexeso.candidates_verified", len(candidates))
-        return sorted(results)[:k]
+        out = sorted(results)[:k]
+        if explain:
+            report = ExplainReport(
+                "pexeso",
+                query=f"column<{len(qvecs)} vectors>",
+                k=k,
+                params={
+                    "tau": cfg.tau,
+                    "sigma": cfg.sigma,
+                    "ef_search": cfg.ef_search,
+                },
+            )
+            report.stage("columns_indexed", len(self._column_vectors))
+            report.stage("columns_blocked", len(hits_per_column))
+            report.stage("candidates_verified", len(candidates), min_hits=min_hits)
+            report.stage("passed_sigma", len(results))
+            report.stage("returned", len(out))
+            report.results = summarize_results(out)
+            return out, report
+        return out
 
     def _verify(self, qvecs: np.ndarray, ref: ColumnRef) -> float:
         """Exact fraction of query vectors with a cosine >= tau match."""

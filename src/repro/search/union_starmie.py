@@ -18,6 +18,7 @@ from repro.datalake.lake import DataLake
 from repro.datalake.table import ColumnRef, Table
 from repro.obs import METRICS, TRACER
 from repro.search.aggregate import table_unionability
+from repro.search.explain import ExplainReport, summarize_results
 from repro.search.results import TableResult
 from repro.sketch.hashing import stable_hash64
 from repro.sketch.hnsw import HNSW
@@ -134,8 +135,11 @@ class StarmieUnionSearch:
         scored.sort(key=lambda kv: (-kv[1], str(kv[0])))
         return scored[: cfg.candidates_per_column]
 
-    def search(self, query: Table, k: int = 10) -> list[TableResult]:
-        """Top-k unionable tables by aggregated contextual-cosine alignment."""
+    def search(self, query: Table, k: int = 10, explain: bool = False):
+        """Top-k unionable tables by aggregated contextual-cosine alignment.
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         if not self._built:
             raise RuntimeError("call build() before searching")
         qvecs = self.encoder.encode_table(query)
@@ -145,6 +149,10 @@ class StarmieUnionSearch:
             if not col.is_numeric and np.linalg.norm(qvecs[i]) > 0
         ]
         if not qcols:
+            if explain:
+                return [], ExplainReport(
+                    "starmie", query=query.name, k=k
+                )
             return []
         # Gather per-table candidate column sets from per-column retrieval.
         table_cols: dict[str, set[int]] = defaultdict(set)
@@ -175,4 +183,22 @@ class StarmieUnionSearch:
         sp = TRACER.current()
         sp.set("starmie.candidates_examined", candidates_examined)
         sp.set("starmie.tables_scored", len(table_cols))
-        return sorted(results)[:k]
+        out = sorted(results)[:k]
+        if explain:
+            report = ExplainReport(
+                "starmie",
+                query=query.name,
+                k=k,
+                params={
+                    "index": self.config.index,
+                    "candidates_per_column": self.config.candidates_per_column,
+                    "query_columns": len(qcols),
+                },
+            )
+            report.stage("candidate_probes", candidates_examined)
+            report.stage("tables_scored", len(table_cols))
+            report.stage("positive_alignment", len(results))
+            report.stage("returned", len(out))
+            report.results = summarize_results(out)
+            return out, report
+        return out

@@ -24,6 +24,7 @@ from repro.datalake.lake import DataLake
 from repro.datalake.ontology import Ontology
 from repro.datalake.table import Column, ColumnRef, Table
 from repro.search.aggregate import table_unionability
+from repro.search.explain import ExplainReport, summarize_results
 from repro.search.results import TableResult
 from repro.sketch.lsh import MinHashLSH
 from repro.sketch.minhash import MinHash
@@ -158,8 +159,12 @@ class TableUnionSearch:
         k: int = 10,
         measure: str | None = None,
         prefilter: bool = True,
-    ) -> list[TableResult]:
-        """Top-k unionable tables under the chosen measure."""
+        explain: bool = False,
+    ):
+        """Top-k unionable tables under the chosen measure.
+
+        With ``explain=True`` returns ``(hits, ExplainReport)``.
+        """
         if not self._built:
             raise RuntimeError("call build() before searching")
         measure = measure or self.config.measure
@@ -170,6 +175,7 @@ class TableUnionSearch:
         )
         qcols = [c for c in query.columns if not c.is_numeric]
         results = []
+        scored = 0
         for name in sorted(names):
             cand = self.lake.table(name)
             cand_refs = [
@@ -179,6 +185,7 @@ class TableUnionSearch:
             ]
             if not cand_refs or not qcols:
                 continue
+            scored += 1
             scores = np.zeros((len(qcols), len(cand_refs)))
             for i, qc in enumerate(qcols):
                 for j, ref in enumerate(cand_refs):
@@ -191,4 +198,19 @@ class TableUnionSearch:
                     (i, cand_refs[j].index, s) for i, j, s in pairs
                 )
                 results.append(TableResult(name, total, alignment))
-        return sorted(results)[:k]
+        out = sorted(results)[:k]
+        if explain:
+            report = ExplainReport(
+                "tus",
+                query=query.name,
+                k=k,
+                params={"measure": measure, "prefilter": prefilter},
+            )
+            report.stage("tables_in_lake", len(self.lake.table_names()))
+            report.stage("candidates", len(names))
+            report.stage("scored", scored)
+            report.stage("positive", len(results))
+            report.stage("returned", len(out))
+            report.results = summarize_results(out)
+            return out, report
+        return out

@@ -1,0 +1,167 @@
+"""Tests for the telemetry exporters: Prometheus text, Chrome trace, JSONL."""
+
+import json
+import re
+
+import pytest
+
+from repro import obs
+from repro.obs.export import telemetry_lines, write_telemetry
+from repro.obs.metrics import MetricsRegistry, prometheus_name
+from repro.obs.querylog import QueryLog, QueryRecord
+from repro.obs.trace import Tracer
+
+# Prometheus text exposition grammar (the subset we emit).
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? -?[0-9.+eE]+$"
+)
+TYPE_RE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+
+
+def populated_registry(order: str = "forward") -> MetricsRegistry:
+    reg = MetricsRegistry()
+    ops = [
+        lambda: reg.inc("search.josie.queries", 3),
+        lambda: reg.inc("query.keyword.count"),
+        lambda: reg.set_gauge("lake.tables", 12),
+        lambda: reg.set_gauge("embedding.vocabulary", 480),
+        lambda: [reg.observe("query.latency_ms", v) for v in (0.2, 3.1, 40.0, 9000.0)],
+    ]
+    if order == "reverse":
+        ops = list(reversed(ops))
+    for op in ops:
+        op()
+    return reg
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("query.latency_ms") == "repro_query_latency_ms"
+
+    def test_illegal_chars_sanitized(self):
+        name = prometheus_name("a-b c/d")
+        assert re.match(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$", name)
+
+
+class TestPrometheusExposition:
+    def test_every_line_parses(self):
+        text = populated_registry().to_prometheus()
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert TYPE_RE.match(line), line
+            else:
+                assert SAMPLE_RE.match(line), line
+
+    def test_counter_gets_total_suffix(self):
+        text = populated_registry().to_prometheus()
+        assert "repro_search_josie_queries_total 3" in text
+
+    def test_gauge_value(self):
+        text = populated_registry().to_prometheus()
+        assert "repro_lake_tables 12" in text
+
+    def test_histogram_buckets_cumulative_and_monotone(self):
+        text = populated_registry().to_prometheus()
+        buckets = []
+        for line in text.splitlines():
+            m = re.match(
+                r"repro_query_latency_ms_bucket\{le=\"([^\"]+)\"\} (\d+)", line
+            )
+            if m:
+                buckets.append((m.group(1), int(m.group(2))))
+        assert buckets, "no bucket samples found"
+        assert buckets[-1][0] == "+Inf"
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        bounds = [float(b) for b, _ in buckets[:-1]]
+        assert bounds == sorted(bounds), "le bounds must ascend"
+        # +Inf bucket equals the observation count (4, incl. the 9000ms one).
+        assert buckets[-1][1] == 4
+        assert "repro_query_latency_ms_count 4" in text
+
+    def test_output_is_deterministic_across_insertion_order(self):
+        a = populated_registry("forward").to_prometheus()
+        b = populated_registry("reverse").to_prometheus()
+        assert a == b
+
+    def test_empty_registry_renders_empty_page(self):
+        assert MetricsRegistry().to_prometheus() == "\n"
+
+
+class TestChromeTrace:
+    @pytest.fixture()
+    def tracer(self):
+        t = Tracer(enabled=True)
+        with t.span("pipeline.build", tables=3):
+            with t.span("stage.embeddings"):
+                pass
+            with t.span("stage.join_index"):
+                pass
+        with t.span("query.keyword", q="x"):
+            pass
+        return t
+
+    def test_loads_as_valid_json(self, tracer):
+        blob = json.dumps(tracer.to_chrome_trace())
+        trace = json.loads(blob)
+        assert isinstance(trace["traceEvents"], list)
+
+    def test_complete_x_events_with_ts_and_dur(self, tracer):
+        trace = tracer.to_chrome_trace()
+        assert len(trace["traceEvents"]) == 4
+        for ev in trace["traceEvents"]:
+            assert ev["ph"] == "X"
+            assert ev["ts"] >= 0
+            assert ev["dur"] >= 0
+            assert ev["pid"] == 1 and ev["tid"] >= 1
+
+    def test_children_nest_within_parent_window(self, tracer):
+        trace = tracer.to_chrome_trace()
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        parent = by_name["pipeline.build"]
+        for child in ("stage.embeddings", "stage.join_index"):
+            ev = by_name[child]
+            assert ev["ts"] >= parent["ts"]
+            assert ev["ts"] + ev["dur"] <= parent["ts"] + parent["dur"] + 1e-3
+
+    def test_attrs_exported_as_args(self, tracer):
+        trace = tracer.to_chrome_trace()
+        by_name = {e["name"]: e for e in trace["traceEvents"]}
+        assert by_name["pipeline.build"]["args"]["tables"] == 3
+
+    def test_empty_tracer(self):
+        assert Tracer().to_chrome_trace()["traceEvents"] == []
+
+
+class TestTelemetryJsonl:
+    def test_every_line_is_json_and_typed(self, tmp_path):
+        reg = populated_registry()
+        tracer = Tracer(enabled=True)
+        with tracer.span("query.keyword"):
+            pass
+        qlog = QueryLog()
+        qlog.append(QueryRecord(engine="keyword", query="x", latency_ms=1.5))
+        lines = list(
+            telemetry_lines(reg, tracer, qlog, extra={"run": "test"})
+        )
+        types = set()
+        for line in lines:
+            item = json.loads(line)
+            types.add(item["type"])
+        assert {"meta", "span", "counter", "gauge", "histogram", "query"} <= types
+
+    def test_write_telemetry_roundtrip(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "telemetry.jsonl"
+        n = write_telemetry(str(path), reg, Tracer(), QueryLog())
+        assert n == len(path.read_text().strip().splitlines())
+        for line in path.read_text().strip().splitlines():
+            json.loads(line)
+
+    def test_module_level_defaults_use_globals(self):
+        obs.reset()
+        obs.METRICS.inc("export.test.counter")
+        text = obs.to_prometheus()
+        assert "repro_export_test_counter_total 1" in text
+        obs.reset()

@@ -1,0 +1,100 @@
+"""Tests for the stdlib HTTP observability endpoint."""
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, ObservabilityServer
+
+
+@pytest.fixture()
+def server():
+    obs.reset()
+    obs.METRICS.inc("server.test.requests", 5)
+    obs.METRICS.set_gauge("server.test.tables", 7)
+    obs.QUERY_LOG.append(
+        obs.QueryRecord(engine="keyword", query="demo", k=3, latency_ms=0.8)
+    )
+    srv = ObservabilityServer(port=0)
+    srv.start()
+    yield srv
+    srv.stop()
+    obs.reset()
+
+
+def get(url: str) -> tuple[int, str, str]:
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()
+
+
+class TestObservabilityServer:
+    def test_ephemeral_port_resolved(self, server):
+        assert server.port > 0
+        assert server.running
+        assert server.url.startswith("http://127.0.0.1:")
+
+    def test_metrics_endpoint_serves_prometheus(self, server):
+        status, ctype, body = get(server.url + "/metrics")
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert "repro_server_test_requests_total 5" in body
+        assert "repro_server_test_tables 7" in body
+        for line in body.strip().splitlines():
+            assert line.startswith("#") or re.match(
+                r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ", line
+            ), line
+
+    def test_health_endpoint(self, server):
+        status, ctype, body = get(server.url + "/health")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0
+        assert payload["queries_logged"] == 1
+
+    def test_querylog_endpoint(self, server):
+        status, _, body = get(server.url + "/querylog")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["total"] == 1
+        assert payload["records"][0]["engine"] == "keyword"
+        assert payload["records"][0]["query"] == "demo"
+
+    def test_querylog_n_param(self, server):
+        for i in range(5):
+            obs.QUERY_LOG.append(
+                obs.QueryRecord(engine="keyword", query=f"q{i}", latency_ms=0.1)
+            )
+        _, _, body = get(server.url + "/querylog?n=2")
+        payload = json.loads(body)
+        assert len(payload["records"]) == 2
+        assert payload["records"][-1]["query"] == "q4"
+
+    def test_querylog_bad_n_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            get(server.url + "/querylog?n=bogus")
+        assert exc.value.code == 400
+
+    def test_trace_endpoint_valid_json(self, server):
+        status, _, body = get(server.url + "/trace")
+        assert status == 200
+        assert "traceEvents" in json.loads(body)
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            get(server.url + "/nope")
+        assert exc.value.code == 404
+
+    def test_context_manager_stops_server(self):
+        with ObservabilityServer(port=0) as srv:
+            url = srv.url
+            status, _, _ = get(url + "/health")
+            assert status == 200
+        assert not srv.running
+        with pytest.raises(urllib.error.URLError):
+            get(url + "/health")

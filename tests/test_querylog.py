@@ -1,0 +1,116 @@
+"""Tests for the structured query log: ring buffer, JSONL sink, integration."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.config import DiscoveryConfig
+from repro.core.system import DiscoverySystem
+from repro.datalake.lake import ColumnRef
+from repro.obs.querylog import QueryLog, QueryRecord
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.QUERY_LOG.configure(capacity=1024, sink="")
+    obs.reset()
+
+
+class TestRing:
+    def test_capacity_bounds_records(self):
+        log = QueryLog(capacity=3)
+        for i in range(10):
+            log.append(QueryRecord(engine="e", query=f"q{i}", latency_ms=0.1))
+        assert len(log.records()) == 3
+        assert [r.query for r in log.records()] == ["q7", "q8", "q9"]
+        assert log.total == 10
+
+    def test_tail(self):
+        log = QueryLog()
+        for i in range(5):
+            log.append(QueryRecord(engine="e", query=f"q{i}", latency_ms=0.1))
+        assert [r.query for r in log.tail(2)] == ["q3", "q4"]
+
+    def test_append_stamps_timestamp(self):
+        log = QueryLog()
+        log.append(QueryRecord(engine="e", query="q", latency_ms=0.1))
+        assert log.records()[0].ts > 0
+
+    def test_to_dicts_and_jsonl(self):
+        log = QueryLog()
+        log.append(
+            QueryRecord(
+                engine="josie",
+                query="t[0]",
+                k=5,
+                latency_ms=1.25,
+                results=[("other", 0.5)],
+                funnel={"candidates": 10, "returned": 1},
+            )
+        )
+        (d,) = log.to_dicts()
+        assert d["engine"] == "josie"
+        assert d["funnel"]["candidates"] == 10
+        line = log.to_jsonl().strip()
+        assert json.loads(line)["results"] == [["other", 0.5]]
+
+    def test_configure_reshapes_capacity(self):
+        log = QueryLog(capacity=8)
+        for i in range(8):
+            log.append(QueryRecord(engine="e", query=f"q{i}", latency_ms=0.1))
+        log.configure(capacity=2)
+        assert len(log.records()) == 2
+        assert log.capacity == 2
+
+    def test_jsonl_sink(self, tmp_path):
+        sink = tmp_path / "queries.jsonl"
+        log = QueryLog()
+        log.configure(sink=str(sink))
+        log.append(QueryRecord(engine="e", query="a", latency_ms=0.1))
+        log.append(QueryRecord(engine="e", query="b", latency_ms=0.2))
+        lines = sink.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["query"] == "b"
+        log.configure(sink="")
+        log.append(QueryRecord(engine="e", query="c", latency_ms=0.3))
+        assert len(sink.read_text().strip().splitlines()) == 2
+
+
+class TestSystemIntegration:
+    @pytest.fixture(scope="class")
+    def system(self, union_corpus):
+        config = DiscoveryConfig(embedding_dim=16, num_partitions=4)
+        return DiscoverySystem(union_corpus.lake, config).build()
+
+    def test_queries_are_logged_with_funnel(self, system, union_corpus):
+        qname = union_corpus.groups[0][0]
+        system.keyword_search("concept", k=3)
+        system.joinable_search(ColumnRef(qname, 0), k=3)
+        records = obs.QUERY_LOG.records()
+        engines = [r.engine for r in records]
+        assert engines == ["keyword", "join"]
+        for r in records:
+            assert r.status == "ok"
+            assert r.latency_ms >= 0
+            assert r.query
+        # explain=True enriches the log with the funnel
+        system.joinable_search(ColumnRef(qname, 0), k=3, explain=True)
+        last = obs.QUERY_LOG.records()[-1]
+        assert last.funnel and "returned" in last.funnel
+
+    def test_failed_query_logged_as_error(self, system, union_corpus):
+        qname = union_corpus.groups[0][0]
+        with pytest.raises(ValueError):
+            system.joinable_search(ColumnRef(qname, 0), method="bogus")
+        last = obs.QUERY_LOG.records()[-1]
+        assert last.status == "error"
+        assert last.error == "ValueError"
+
+    def test_report_includes_querylog(self, system):
+        system.keyword_search("concept")
+        out = obs.report()
+        assert out["querylog"]
+        assert out["querylog"][-1]["engine"] == "keyword"
