@@ -13,6 +13,9 @@ Usage::
     python -m repro serve-metrics <lake_dir> [--port 9095] [--duration 60]
     python -m repro bench     <lake_dir> [-o BENCH_queries.json] [--repeat 3]
     python -m repro bench-compare old.json new.json [--threshold 0.2]
+    python -m repro slo       [--log queries.jsonl | --url http://host:9095]
+    python -m repro inspect   <lake_dir> [--json]
+    python -m repro top       --url http://host:9095 [--interval 2]
 
 Every command ingests ``lake_dir`` (recursively, all ``*.csv``), runs the
 offline pipeline stages it needs, and prints results to stdout.
@@ -224,6 +227,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the comparison but always exit 0",
     )
     common(p)
+
+    p = sub.add_parser(
+        "slo",
+        help="evaluate SLO burn rates over a query log; exits 1 on breach "
+        "(cron/CI friendly)",
+    )
+    p.add_argument(
+        "--log",
+        metavar="FILE",
+        help="JSONL query log (as written by the QUERY_LOG sink)",
+    )
+    p.add_argument(
+        "--url",
+        metavar="URL",
+        help="fetch /querylog from a running observability server instead",
+    )
+    p.add_argument(
+        "--objective",
+        action="append",
+        default=[],
+        metavar="ENGINE:P95_MS:ERROR_RATE[:WINDOW_S]",
+        help="objective spec (repeatable; empty field skips the signal; "
+        "default: *:500:0.05:3600)",
+    )
+    p.add_argument(
+        "--burn-threshold",
+        type=float,
+        default=1.0,
+        help="burn rate at/above which both windows must be to breach",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    common(p)
+
+    p = sub.add_parser(
+        "inspect",
+        help="build the pipeline and report per-index introspection stats "
+        "(sizes, skew, memory footprint)",
+    )
+    p.add_argument("lake_dir", help="directory of CSV files")
+    p.add_argument(
+        "--no-embeddings",
+        action="store_true",
+        help="skip the embedding stage (and the indexes that need it)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the reports as JSON"
+    )
+    common(p)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running observability server "
+        "(per-engine QPS, p50/p95, error rate, SLO burn)",
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:9095",
+        help="observability server base URL",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period (s)"
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render N frames then exit (default: until interrupted)",
+    )
+    p.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="QPS window in seconds",
+    )
+    common(p)
     return parser
 
 
@@ -342,8 +422,14 @@ def _run_serve_metrics(args, out) -> int:
                     ColumnRef(table.name, text_cols[0]), k=3
                 )
                 system.multi_attribute_search(table, [text_cols[0]], k=3)
+        # Publish index introspection so /indexstats has this build's data.
+        system.index_stats()
     server = ObservabilityServer(args.host, args.port).start()
-    print(f"serving {server.url}/metrics /health /querylog /trace", file=out)
+    print(
+        f"serving {server.url}/metrics /health /querylog /trace /slo "
+        "/indexstats",
+        file=out,
+    )
     try:
         if args.duration is not None:
             time.sleep(args.duration)
@@ -425,6 +511,76 @@ def _run_bench(args, out) -> int:
     return 0
 
 
+def _run_slo(args, out) -> int:
+    """The ``slo`` subcommand: the SLO burn-rate gate."""
+    from repro.obs import health
+    from repro.obs.querylog import QueryRecord, load_jsonl
+
+    if args.log and args.url:
+        raise SystemExit("give either --log or --url, not both")
+    if args.log:
+        records = load_jsonl(args.log)
+    elif args.url:
+        import json as _json
+        import urllib.request
+
+        with urllib.request.urlopen(
+            args.url.rstrip("/") + "/querylog", timeout=10
+        ) as resp:
+            payload = _json.loads(resp.read().decode("utf-8"))
+        records = [QueryRecord.from_dict(d) for d in payload["records"]]
+    else:
+        records = obs.QUERY_LOG.records()
+    objectives = (
+        tuple(health.SloObjective.parse(s) for s in args.objective)
+        or health.DEFAULT_OBJECTIVES
+    )
+    report = health.evaluate(
+        records, objectives, burn_threshold=args.burn_threshold
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        print(report.render(), file=out)
+    return 0 if report.ok else 1
+
+
+def _run_inspect(args, out) -> int:
+    """The ``inspect`` subcommand: per-index introspection reports."""
+    system = _system(args.lake_dir, need_embeddings=not args.no_embeddings)
+    reports = system.index_stats()
+    if args.json:
+        print(
+            json.dumps([r.to_dict() for r in reports], indent=2), file=out
+        )
+    else:
+        total = sum(r.memory_bytes for r in reports)
+        print(
+            f"{len(reports)} indexes, estimated {total / 1024:.1f} KiB total",
+            file=out,
+        )
+        for r in reports:
+            print(r.render(), file=out)
+    return 0
+
+
+def _run_top(args, out) -> int:
+    """The ``top`` subcommand: the live terminal dashboard."""
+    from repro.obs.top import TopDashboard
+
+    dash = TopDashboard(args.url, window_s=args.window)
+    try:
+        frames = dash.run(
+            iterations=args.iterations,
+            interval=args.interval,
+            out=out,
+            clear=out.isatty() if hasattr(out, "isatty") else False,
+        )
+    except OSError as exc:  # URLError subclasses OSError
+        raise SystemExit(f"cannot reach {args.url}: {exc}")
+    return 0 if frames else 1
+
+
 def _run_bench_compare(args, out) -> int:
     """The ``bench-compare`` subcommand: the latency regression gate."""
     old = BenchTrajectory.load(args.old)
@@ -457,6 +613,15 @@ def _run(args, out) -> int:
 
     if args.command == "bench-compare":
         return _run_bench_compare(args, out)
+
+    if args.command == "slo":
+        return _run_slo(args, out)
+
+    if args.command == "inspect":
+        return _run_inspect(args, out)
+
+    if args.command == "top":
+        return _run_top(args, out)
 
     if args.command == "keyword":
         system = _system(args.lake_dir, need_embeddings=False)

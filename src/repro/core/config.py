@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.errors import ConfigError
+from repro.obs.health import DEFAULT_OBJECTIVES, SloObjective
 
 
 @dataclass
@@ -38,6 +39,13 @@ class DiscoveryConfig:
     enable_domains: bool = False
     enable_annotation: bool = True
 
+    # production health: head-based trace sampling (1.0 = keep every span
+    # tree) with an always-keep slow-query threshold, and declarative
+    # per-engine service-level objectives evaluated over the query log
+    trace_sample_rate: float = 1.0
+    slow_query_ms: float = 250.0
+    slos: tuple[SloObjective, ...] = DEFAULT_OBJECTIVES
+
     seed: int = 0
 
     def validate(self) -> "DiscoveryConfig":
@@ -55,6 +63,15 @@ class DiscoveryConfig:
             raise ConfigError(f"unknown union_index {self.union_index!r}")
         if not 0 <= self.context_weight < 1:
             raise ConfigError("context_weight must be in [0, 1)")
+        if not 0 <= self.trace_sample_rate <= 1:
+            raise ConfigError("trace_sample_rate must be in [0, 1]")
+        if self.slow_query_ms < 0:
+            raise ConfigError("slow_query_ms must be >= 0")
+        for objective in self.slos:
+            try:
+                objective.validate()
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from exc
         return self
 
 

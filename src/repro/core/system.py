@@ -15,6 +15,7 @@ Online: ``keyword_search``, ``joinable_search``, ``unionable_search``,
 from __future__ import annotations
 
 import time
+import tracemalloc
 from contextlib import contextmanager
 
 import numpy as np
@@ -22,7 +23,8 @@ import numpy as np
 from repro.apps.arda import ArdaAugmenter, AugmentationReport
 from repro.core.config import DiscoveryConfig, PipelineStats
 from repro.core.errors import LakeError
-from repro.obs import METRICS, QUERY_LOG, TRACER, get_logger
+from repro.obs import METRICS, QUERY_LOG, SAMPLER, TRACER, get_logger
+from repro.obs.introspect import IndexStatsReport, deep_sizeof, publish
 from repro.obs.querylog import QueryRecord
 from repro.datalake.lake import DataLake
 from repro.datalake.ontology import Ontology
@@ -85,6 +87,12 @@ class DiscoverySystem:
         self.config = (config or DiscoveryConfig()).validate()
         self.ontology = ontology
         self.stats = PipelineStats()
+        # The config is the source of truth for process-wide trace sampling:
+        # rate-limit span retention, but always keep slow/error traces.
+        SAMPLER.configure(
+            rate=self.config.trace_sample_rate,
+            slow_ms=self.config.slow_query_ms,
+        )
 
         # Populated by build():
         self.space: EmbeddingSpace | None = None
@@ -245,13 +253,113 @@ class DiscoverySystem:
                 "DiscoverySystem is not built yet: call build() first"
             )
 
+    # -- index introspection ----------------------------------------------------------
+
+    def index_stats(self) -> list[IndexStatsReport]:
+        """Introspect every built index: structural stats from each engine's
+        ``stats()`` hook plus an estimated memory footprint.
+
+        Reports are published process-wide (``/indexstats`` route) and
+        surfaced as ``index.<name>.{items,memory_bytes}`` gauges so a
+        Prometheus scrape sees index growth between builds.
+        """
+        self._require_built()
+        reports: list[IndexStatsReport] = []
+
+        def add(name: str, kind: str, obj, items: int, detail: dict) -> None:
+            reports.append(
+                IndexStatsReport(
+                    name=name,
+                    kind=kind,
+                    items=items,
+                    memory_bytes=deep_sizeof(obj),
+                    detail=detail,
+                )
+            )
+
+        if self._keyword is not None:
+            d = self._keyword.stats()
+            add("keyword", "bm25", self._keyword, d["documents"], d)
+        if self._joinable is not None:
+            d = self._joinable._josie.stats()
+            add("josie", "inverted+sets", self._joinable._josie, d["sets"], d)
+            d = self._joinable._ensemble.stats()
+            add(
+                "lshensemble",
+                "partitioned-lsh",
+                self._joinable._ensemble,
+                d["keys"],
+                d,
+            )
+            d = self._joinable._jaccard_lsh.stats()
+            add(
+                "jaccard_lsh",
+                "banded-lsh",
+                self._joinable._jaccard_lsh,
+                d["keys"],
+                d,
+            )
+        if self._tus is not None:
+            d = self._tus.stats()
+            add("tus", "minhash+lsh", self._tus, d["minhashes"], d)
+        if self._starmie is not None:
+            d = self._starmie.stats()
+            add(
+                "starmie",
+                f"embeddings+{self.config.union_index}",
+                self._starmie,
+                d["columns"],
+                d,
+            )
+        if self._santos is not None:
+            add(
+                "santos",
+                "semantic-graph",
+                self._santos,
+                self.stats.tables,
+                {"tables": self.stats.tables},
+            )
+        if self._pexeso is not None:
+            d = self._pexeso.stats()
+            add("pexeso", "vector-block", self._pexeso, d["columns"], d)
+        if self._mate is not None:
+            d = self._mate.stats()
+            add("mate", "super-key", self._mate, d["rows"], d)
+        if self._correlated is not None:
+            d = self._correlated.stats()
+            add("qcr", "correlation-sketch", self._correlated, d["sketches"], d)
+        if self._org is not None:
+            add(
+                "organization",
+                "navigation-tree",
+                self._org,
+                len(self._table_vectors),
+                {"tables": len(self._table_vectors)},
+            )
+
+        for r in reports:
+            METRICS.set_gauge(f"index.{r.name}.items", r.items)
+            METRICS.set_gauge(f"index.{r.name}.memory_bytes", r.memory_bytes)
+        publish(reports)
+        return reports
+
     @contextmanager
     def _query_span(self, engine: str, query_repr: str = "", **attrs):
         """Per-query observability: a ``query.<engine>`` span, latency
         histogram, query counter, and a structured :class:`QueryRecord`
         appended to the process-wide query log (always recorded; the span
-        is a no-op when tracing is disabled)."""
+        is a no-op when tracing is disabled).
+
+        Each record carries resource accounting, not just latency: thread
+        CPU time always, and the peak allocation delta whenever
+        ``obs.enable_memory_accounting()`` has tracemalloc running."""
         t0 = time.perf_counter()
+        cpu0 = time.thread_time()
+        mem_on = tracemalloc.is_tracing()
+        mem_base = 0
+        if mem_on:
+            tracemalloc.reset_peak()
+            mem_base = tracemalloc.get_traced_memory()[0]
         capture = _QueryCapture()
         error: str | None = None
         try:
@@ -263,15 +371,25 @@ class DiscoverySystem:
             raise
         finally:
             latency_ms = (time.perf_counter() - t0) * 1000
+            cpu_ms = (time.thread_time() - cpu0) * 1000
+            mem_peak_kb = None
+            if mem_on and tracemalloc.is_tracing():
+                peak = tracemalloc.get_traced_memory()[1]
+                mem_peak_kb = max(0, peak - mem_base) / 1024
             METRICS.inc(f"query.{engine}.count")
             METRICS.observe("query.latency_ms", latency_ms)
+            METRICS.observe("query.cpu_ms", cpu_ms)
             METRICS.observe(f"query.{engine}.latency_ms", latency_ms)
+            if error:
+                METRICS.inc(f"query.{engine}.errors")
             QUERY_LOG.append(
                 QueryRecord(
                     engine=engine,
                     query=query_repr,
                     k=int(attrs.get("k", 0) or 0),
                     latency_ms=latency_ms,
+                    cpu_ms=cpu_ms,
+                    mem_peak_kb=mem_peak_kb,
                     results=capture.results,
                     funnel=capture.funnel,
                     status="error" if error else "ok",

@@ -25,6 +25,10 @@ from __future__ import annotations
 
 from typing import Any
 
+import tracemalloc
+
+from repro.obs.health import DEFAULT_OBJECTIVES, SloObjective, SloReport
+from repro.obs.introspect import IndexStatsReport, deep_sizeof
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
 from repro.obs.metrics import (
@@ -34,10 +38,14 @@ from repro.obs.metrics import (
     prometheus_name,
 )
 from repro.obs.querylog import QUERY_LOG, QueryLog, QueryRecord
+from repro.obs.sampling import TraceSampler
 from repro.obs.trace import NOOP_SPAN, Span, Tracer
 
+#: Process-wide trace sampler; keep-everything until configured.
+SAMPLER = TraceSampler()
+
 #: Process-wide tracer; disabled by default (spans become no-ops).
-TRACER = Tracer(enabled=False)
+TRACER = Tracer(enabled=False, sampler=SAMPLER)
 
 #: Process-wide metrics registry; always collecting.
 METRICS = MetricsRegistry()
@@ -51,20 +59,48 @@ def disable_tracing() -> None:
     TRACER.disable()
 
 
+def configure_sampling(
+    rate: float | None = None,
+    slow_ms: float | None = ...,  # type: ignore[assignment]
+    seed: int | None = None,
+) -> TraceSampler:
+    """Configure head-based trace sampling on the process-wide tracer."""
+    return SAMPLER.configure(rate=rate, slow_ms=slow_ms, seed=seed)
+
+
+def enable_memory_accounting() -> None:
+    """Start tracemalloc so every query record carries its peak allocation
+    delta (opt-in: tracemalloc costs ~2x on allocation-heavy paths)."""
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+
+
+def disable_memory_accounting() -> None:
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+
+
+def memory_accounting_enabled() -> bool:
+    return tracemalloc.is_tracing()
+
+
 def reset() -> None:
-    """Clear collected spans, metrics, and query records (flags are kept)."""
+    """Clear collected spans, metrics, query records, and sampler counters
+    (enabled/sampling-rate flags are kept)."""
     TRACER.reset()
     METRICS.reset()
     QUERY_LOG.clear()
+    SAMPLER.reset_counters()
 
 
 def report(extra: dict[str, Any] | None = None) -> dict[str, Any]:
     """A JSON-ready observability report: span tree + metrics snapshot +
-    recent query records."""
+    recent query records + sampling counters."""
     out: dict[str, Any] = dict(extra or {})
     out["spans"] = TRACER.to_dicts()
     out["metrics"] = METRICS.snapshot()
     out["querylog"] = QUERY_LOG.to_dicts()
+    out["sampling"] = SAMPLER.stats()
     return out
 
 
@@ -80,7 +116,9 @@ from repro.obs.server import ObservabilityServer  # noqa: E402
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_OBJECTIVES",
     "Histogram",
+    "IndexStatsReport",
     "METRICS",
     "MetricsRegistry",
     "NOOP_SPAN",
@@ -88,13 +126,22 @@ __all__ = [
     "QUERY_LOG",
     "QueryLog",
     "QueryRecord",
+    "SAMPLER",
+    "SloObjective",
+    "SloReport",
     "Span",
     "TRACER",
+    "TraceSampler",
     "Tracer",
     "configure_logging",
+    "configure_sampling",
+    "deep_sizeof",
+    "disable_memory_accounting",
     "disable_tracing",
+    "enable_memory_accounting",
     "enable_tracing",
     "get_logger",
+    "memory_accounting_enabled",
     "prometheus_name",
     "report",
     "reset",

@@ -1,0 +1,271 @@
+"""SLO engine: declarative per-engine objectives with burn-rate alerting.
+
+An :class:`SloObjective` declares what "healthy" means for one engine (or
+``"*"`` for all traffic): a p95 latency target and an error-rate budget.
+:func:`evaluate` checks the objectives against the structured query log
+using the multi-window burn-rate method: each signal (latency, errors) is
+reduced to *bad events* — a query slower than the latency target, or a
+query that errored — and the burn rate is
+
+    burn = observed bad fraction / budgeted bad fraction
+
+computed over a long window (``window_s``) and a short window
+(``window_s / 12``, the classic 1h/5m pairing).  An objective breaches only
+when *both* windows burn at or above the threshold, so a long-past incident
+(long window hot, short window cold) or a momentary blip (short hot, long
+cold) does not page.
+
+For the latency signal the budget is the 5% of requests a p95 target
+implicitly allows above the threshold.  Zero events in the long window
+means "no data", never a breach.
+
+Surfaces: ``repro slo`` (exit 1 on breach — cron/CI friendly), the ``/slo``
+route on :class:`~repro.obs.server.ObservabilityServer`, and ``repro top``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.obs.querylog import QueryRecord
+
+#: Short window = long window / SHORT_WINDOW_DIVISOR (1h -> 5m).
+SHORT_WINDOW_DIVISOR = 12
+
+#: A p95 target tolerates 5% of requests above the latency threshold.
+LATENCY_BUDGET = 0.05
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One engine's health contract.
+
+    ``engine`` is a query-log engine name (``"keyword"``, ``"join"``, ...)
+    or ``"*"`` to pool all traffic.  ``p95_ms`` / ``error_rate`` may each be
+    ``None`` to skip that signal.
+    """
+
+    engine: str = "*"
+    p95_ms: float | None = 500.0
+    error_rate: float | None = 0.05
+    window_s: float = 3600.0
+
+    def validate(self) -> "SloObjective":
+        if self.p95_ms is not None and self.p95_ms <= 0:
+            raise ValueError(f"p95_ms must be positive, got {self.p95_ms}")
+        if self.error_rate is not None and not 0 < self.error_rate <= 1:
+            raise ValueError(
+                f"error_rate must be in (0, 1], got {self.error_rate}"
+            )
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {self.window_s}")
+        return self
+
+    @classmethod
+    def parse(cls, spec: str) -> "SloObjective":
+        """Parse ``ENGINE:P95_MS:ERROR_RATE[:WINDOW_S]`` (empty field skips
+        the signal), e.g. ``join:250:0.01`` or ``*::0.05:600``."""
+        parts = spec.split(":")
+        if not 2 <= len(parts) <= 4:
+            raise ValueError(
+                f"objective spec {spec!r} is not ENGINE:P95_MS:ERROR_RATE[:WINDOW_S]"
+            )
+        engine = parts[0] or "*"
+        p95 = float(parts[1]) if len(parts) > 1 and parts[1] else None
+        err = float(parts[2]) if len(parts) > 2 and parts[2] else None
+        window = float(parts[3]) if len(parts) > 3 and parts[3] else 3600.0
+        return cls(engine, p95, err, window).validate()
+
+
+#: Default objectives: generous enough that a healthy in-process lake passes.
+DEFAULT_OBJECTIVES: tuple[SloObjective, ...] = (SloObjective(),)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on an empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class WindowBurn:
+    """Bad-event burn rate over one window."""
+
+    window_s: float
+    events: int
+    bad: int
+    burn: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "window_s": self.window_s,
+            "events": self.events,
+            "bad": self.bad,
+            "burn": round(self.burn, 4),
+        }
+
+
+@dataclass
+class SloStatus:
+    """One (objective, signal) verdict."""
+
+    engine: str
+    signal: str  # "latency" or "errors"
+    target: float
+    long_window: WindowBurn
+    short_window: WindowBurn
+    observed_p95_ms: float | None = None
+    breached: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "engine": self.engine,
+            "signal": self.signal,
+            "target": self.target,
+            "breached": self.breached,
+            "long": self.long_window.to_dict(),
+            "short": self.short_window.to_dict(),
+        }
+        if self.observed_p95_ms is not None:
+            out["observed_p95_ms"] = round(self.observed_p95_ms, 3)
+        return out
+
+
+@dataclass
+class SloReport:
+    """All objective verdicts for one evaluation pass."""
+
+    statuses: list[SloStatus] = field(default_factory=list)
+    evaluated_at: float = 0.0
+    burn_threshold: float = 1.0
+
+    @property
+    def ok(self) -> bool:
+        return not any(s.breached for s in self.statuses)
+
+    def breaches(self) -> list[SloStatus]:
+        return [s for s in self.statuses if s.breached]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "evaluated_at": round(self.evaluated_at, 3),
+            "burn_threshold": self.burn_threshold,
+            "statuses": [s.to_dict() for s in self.statuses],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"SLO report ({'OK' if self.ok else 'BREACH'}, "
+            f"burn threshold {self.burn_threshold:g})"
+        ]
+        for s in self.statuses:
+            state = "BREACH" if s.breached else "ok"
+            extra = (
+                f" p95={s.observed_p95_ms:.1f}ms"
+                if s.observed_p95_ms is not None
+                else ""
+            )
+            lines.append(
+                f"  {state:<6} {s.engine:<10} {s.signal:<8} "
+                f"target={s.target:g} "
+                f"burn(long)={s.long_window.burn:.2f} "
+                f"({s.long_window.bad}/{s.long_window.events}) "
+                f"burn(short)={s.short_window.burn:.2f} "
+                f"({s.short_window.bad}/{s.short_window.events})"
+                f"{extra}"
+            )
+        return "\n".join(lines)
+
+
+def _window_burn(
+    records: list[QueryRecord],
+    now: float,
+    window_s: float,
+    budget: float,
+    is_bad,
+) -> WindowBurn:
+    cutoff = now - window_s
+    inside = [r for r in records if r.ts >= cutoff]
+    bad = sum(1 for r in inside if is_bad(r))
+    if not inside:
+        burn = 0.0
+    else:
+        burn = (bad / len(inside)) / budget
+    return WindowBurn(window_s, len(inside), bad, burn)
+
+
+def evaluate(
+    records: Iterable[QueryRecord],
+    objectives: Sequence[SloObjective] = DEFAULT_OBJECTIVES,
+    now: float | None = None,
+    burn_threshold: float = 1.0,
+) -> SloReport:
+    """Evaluate objectives against query records; see the module docstring
+    for the multi-window burn-rate semantics."""
+    now = time.time() if now is None else now
+    all_records = list(records)
+    report = SloReport(evaluated_at=now, burn_threshold=burn_threshold)
+    for obj in objectives:
+        obj.validate()
+        pool = (
+            all_records
+            if obj.engine == "*"
+            else [r for r in all_records if r.engine == obj.engine]
+        )
+        short_s = obj.window_s / SHORT_WINDOW_DIVISOR
+        if obj.p95_ms is not None:
+            target = obj.p95_ms
+
+            def slow(r: QueryRecord, _t=target) -> bool:
+                return r.latency_ms > _t
+
+            long_w = _window_burn(pool, now, obj.window_s, LATENCY_BUDGET, slow)
+            short_w = _window_burn(pool, now, short_s, LATENCY_BUDGET, slow)
+            cutoff = now - obj.window_s
+            latencies = [r.latency_ms for r in pool if r.ts >= cutoff]
+            report.statuses.append(
+                SloStatus(
+                    engine=obj.engine,
+                    signal="latency",
+                    target=target,
+                    long_window=long_w,
+                    short_window=short_w,
+                    observed_p95_ms=percentile(latencies, 95),
+                    breached=(
+                        long_w.events > 0
+                        and long_w.burn >= burn_threshold
+                        and short_w.burn >= burn_threshold
+                    ),
+                )
+            )
+        if obj.error_rate is not None:
+
+            def errored(r: QueryRecord) -> bool:
+                return r.status != "ok"
+
+            long_w = _window_burn(
+                pool, now, obj.window_s, obj.error_rate, errored
+            )
+            short_w = _window_burn(pool, now, short_s, obj.error_rate, errored)
+            report.statuses.append(
+                SloStatus(
+                    engine=obj.engine,
+                    signal="errors",
+                    target=obj.error_rate,
+                    long_window=long_w,
+                    short_window=short_w,
+                    breached=(
+                        long_w.events > 0
+                        and long_w.burn >= burn_threshold
+                        and short_w.burn >= burn_threshold
+                    ),
+                )
+            )
+    return report

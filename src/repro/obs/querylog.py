@@ -20,12 +20,24 @@ from typing import Any, Iterable
 
 @dataclass
 class QueryRecord:
-    """One served query: what was asked, what came back, and how fast."""
+    """One served query: what was asked, what came back, and what it cost.
+
+    Beyond wall-clock latency every record carries resource accounting:
+    ``cpu_ms`` (thread CPU time, always on) and ``mem_peak_kb`` (peak
+    allocation delta, populated only while
+    ``obs.enable_memory_accounting()`` has tracemalloc running), plus
+    ``funnel_total`` — the summed candidate-funnel counts when the query
+    ran with ``explain=True``.
+    """
 
     engine: str
     query: str = ""
     k: int = 0
     latency_ms: float = 0.0
+    #: thread CPU time spent serving the query (milliseconds)
+    cpu_ms: float = 0.0
+    #: peak allocation delta in KiB (None unless memory accounting is on)
+    mem_peak_kb: float | None = None
     #: ``(result id, score)`` pairs, truncated to the first ~20 hits.
     results: list[tuple[str, float]] = field(default_factory=list)
     #: EXPLAIN funnel counts (``{stage: count}``) when available.
@@ -34,6 +46,11 @@ class QueryRecord:
     error: str | None = None
     ts: float = 0.0
 
+    @property
+    def funnel_total(self) -> int:
+        """Summed candidate counts across funnel stages (0 without EXPLAIN)."""
+        return sum(self.funnel.values())
+
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
             "ts": round(self.ts, 3),
@@ -41,14 +58,40 @@ class QueryRecord:
             "query": self.query,
             "k": self.k,
             "latency_ms": round(self.latency_ms, 3),
+            "cpu_ms": round(self.cpu_ms, 3),
             "status": self.status,
             "results": [[str(i), float(s)] for i, s in self.results],
         }
+        if self.mem_peak_kb is not None:
+            out["mem_peak_kb"] = round(self.mem_peak_kb, 3)
         if self.funnel:
             out["funnel"] = dict(self.funnel)
+            out["funnel_total"] = self.funnel_total
         if self.error:
             out["error"] = self.error
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "QueryRecord":
+        """Inverse of :meth:`to_dict` (tolerates records written by older
+        versions without the resource-accounting fields)."""
+        return cls(
+            engine=data.get("engine", ""),
+            query=data.get("query", ""),
+            k=int(data.get("k", 0)),
+            latency_ms=float(data.get("latency_ms", 0.0)),
+            cpu_ms=float(data.get("cpu_ms", 0.0)),
+            mem_peak_kb=(
+                float(data["mem_peak_kb"])
+                if data.get("mem_peak_kb") is not None
+                else None
+            ),
+            results=[(str(i), float(s)) for i, s in data.get("results", [])],
+            funnel={k: int(v) for k, v in data.get("funnel", {}).items()},
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+            ts=float(data.get("ts", 0.0)),
+        )
 
 
 class QueryLog:
@@ -106,18 +149,27 @@ class QueryLog:
         with self._lock:
             return len(self._ring)
 
-    def records(self) -> list[QueryRecord]:
+    def records(self, engine: str | None = None) -> list[QueryRecord]:
         with self._lock:
-            return list(self._ring)
+            out = list(self._ring)
+        if engine is not None:
+            out = [r for r in out if r.engine == engine]
+        return out
 
-    def tail(self, n: int) -> list[QueryRecord]:
-        """The most recent ``n`` records, oldest first."""
+    def tail(self, n: int, engine: str | None = None) -> list[QueryRecord]:
+        """The most recent ``n`` (matching) records, oldest first."""
+        return self.records(engine)[-max(0, n):]
+
+    def engines(self) -> list[str]:
+        """Distinct engine names currently in the ring, sorted."""
         with self._lock:
-            return list(self._ring)[-max(0, n):]
+            return sorted({r.engine for r in self._ring})
 
-    def to_dicts(self, n: int | None = None) -> list[dict[str, Any]]:
+    def to_dicts(
+        self, n: int | None = None, engine: str | None = None
+    ) -> list[dict[str, Any]]:
         recs: Iterable[QueryRecord] = (
-            self.records() if n is None else self.tail(n)
+            self.records(engine) if n is None else self.tail(n, engine)
         )
         return [r.to_dict() for r in recs]
 
@@ -131,6 +183,17 @@ class QueryLog:
         with self._lock:
             self._ring.clear()
             self._total = 0
+
+
+def load_jsonl(path: str) -> list[QueryRecord]:
+    """Read query records back from a JSONL sink file (blank lines skipped)."""
+    out: list[QueryRecord] = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(QueryRecord.from_dict(json.loads(line)))
+    return out
 
 
 #: Process-wide query log, fed by ``DiscoverySystem``'s online query paths.

@@ -1,0 +1,124 @@
+"""Head-based trace sampling with always-keep escape hatches.
+
+Under production load, collecting every span tree is too expensive to leave
+on; dropping tracing entirely loses exactly the traces an operator needs
+(errors, tail latency).  :class:`TraceSampler` implements the standard
+compromise: keep a configurable fraction of root span trees, but *always*
+keep a tree that recorded an error or whose root latency exceeded the
+slow-query threshold.
+
+The decision is made once per root span when it completes (children share
+their root's fate), so memory stays bounded: an unsampled tree is discarded
+the moment its root exits.  The sampler is deterministic for a fixed seed,
+which keeps tests reproducible.
+
+The sampler keeps its own counters (it cannot import the process-wide
+``METRICS`` registry without creating an import cycle); ``stats()`` exposes
+them and ``obs.report()`` includes them.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Span
+
+
+def span_tree_has_error(span: "Span") -> bool:
+    """True if the span or any descendant carries an ``error`` attribute."""
+    for s in span.walk():
+        if "error" in s.attrs:
+            return True
+    return False
+
+
+class TraceSampler:
+    """Decides which completed root span trees a ``Tracer`` retains.
+
+    ``rate`` is the base keep probability in [0, 1] (1.0 = keep all, the
+    default, so an unconfigured tracer behaves exactly as before).
+    ``slow_ms`` is the slow-query threshold: a root whose duration meets or
+    exceeds it is kept regardless of the rate.  Errors anywhere in the tree
+    are always kept.  Forced spans (``Tracer.span(..., force=True)``, used
+    by the offline pipeline) bypass sampling entirely.
+    """
+
+    def __init__(
+        self,
+        rate: float = 1.0,
+        slow_ms: float | None = None,
+        seed: int = 0,
+    ):
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self.rate = rate
+        self.slow_ms = slow_ms
+        self._validate()
+        self.reset_counters()
+
+    def _validate(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {self.rate}")
+        if self.slow_ms is not None and self.slow_ms < 0:
+            raise ValueError(f"slow_ms must be >= 0, got {self.slow_ms}")
+
+    def configure(
+        self,
+        rate: float | None = None,
+        slow_ms: float | None = ...,  # type: ignore[assignment]
+        seed: int | None = None,
+    ) -> "TraceSampler":
+        """Update sampling knobs in place (``None``/``...`` keep current)."""
+        with self._lock:
+            if rate is not None:
+                self.rate = rate
+            if slow_ms is not ...:
+                self.slow_ms = slow_ms
+            if seed is not None:
+                self._rng = random.Random(seed)
+            self._validate()
+        return self
+
+    def reset_counters(self) -> None:
+        self.decisions = 0
+        self.kept = 0
+        self.kept_error = 0
+        self.kept_slow = 0
+        self.dropped = 0
+
+    # -- the decision ------------------------------------------------------------
+
+    def keep(self, root: "Span") -> bool:
+        """Whether a completed root span tree should be retained."""
+        with self._lock:
+            self.decisions += 1
+            if self.slow_ms is not None and root.duration_s * 1000 >= self.slow_ms:
+                self.kept += 1
+                self.kept_slow += 1
+                return True
+            if span_tree_has_error(root):
+                self.kept += 1
+                self.kept_error += 1
+                return True
+            if self.rate >= 1.0 or self._rng.random() < self.rate:
+                self.kept += 1
+                return True
+            self.dropped += 1
+            return False
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "slow_ms": self.slow_ms,
+                "decisions": self.decisions,
+                "kept": self.kept,
+                "kept_error": self.kept_error,
+                "kept_slow": self.kept_slow,
+                "dropped": self.dropped,
+            }

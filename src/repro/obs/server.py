@@ -3,10 +3,13 @@
 :class:`ObservabilityServer` runs a ``http.server.ThreadingHTTPServer`` on
 a background daemon thread and serves the process-wide telemetry:
 
-* ``GET /metrics``  — Prometheus text exposition (scrape target);
-* ``GET /health``   — liveness JSON (status, uptime, queries served);
-* ``GET /querylog`` — recent query records as JSON (``?n=50`` limits);
-* ``GET /trace``    — Chrome trace-event JSON of collected spans.
+* ``GET /metrics``    — Prometheus text exposition (scrape target);
+* ``GET /health``     — liveness JSON (status, uptime, queries served);
+* ``GET /querylog``   — recent query records as JSON (``?n=50`` limits —
+  capped at the ring capacity — ``&engine=join`` filters);
+* ``GET /trace``      — Chrome trace-event JSON of collected spans;
+* ``GET /slo``        — SLO burn-rate report over the query log;
+* ``GET /indexstats`` — the last published index introspection reports.
 
 ``port=0`` binds an ephemeral port (the bound port is available as
 ``server.port`` after :meth:`ObservabilityServer.start`), which is what the
@@ -55,17 +58,36 @@ class _Handler(BaseHTTPRequestHandler):
                     except ValueError:
                         self._send_json(400, {"error": "n must be an integer"})
                         return
-                records = obs.QUERY_LOG.to_dicts(n)
-                self._send_json(
-                    200,
-                    {
-                        "total": obs.QUERY_LOG.total,
-                        "returned": len(records),
-                        "records": records,
-                    },
-                )
+                    # Asking for more than the ring holds is a no-op, not
+                    # an error: cap at capacity.
+                    n = min(n, obs.QUERY_LOG.capacity)
+                engine = params.get("engine", [None])[0]
+                records = obs.QUERY_LOG.to_dicts(n, engine=engine)
+                body = {
+                    "total": obs.QUERY_LOG.total,
+                    "returned": len(records),
+                    "records": records,
+                }
+                if engine is not None:
+                    body["engine"] = engine
+                self._send_json(200, body)
             elif split.path == "/trace":
                 self._send_json(200, obs.TRACER.to_chrome_trace())
+            elif split.path == "/slo":
+                from repro.obs import health
+
+                report = health.evaluate(
+                    obs.QUERY_LOG.records(),
+                    objectives=self.server.slos or health.DEFAULT_OBJECTIVES,
+                )
+                self._send_json(200, report.to_dict())
+            elif split.path == "/indexstats":
+                from repro.obs import introspect
+
+                reports = introspect.published()
+                self._send_json(
+                    200, {"reports": [r.to_dict() for r in reports]}
+                )
             else:
                 self._send_json(404, {"error": f"no route {split.path}"})
         except Exception as exc:  # pragma: no cover - defensive
@@ -90,13 +112,19 @@ class _Handler(BaseHTTPRequestHandler):
 class _Server(ThreadingHTTPServer):
     daemon_threads = True
     started_at: float = 0.0
+    slos = None
 
 
 class ObservabilityServer:
-    """Background-thread HTTP server over the global telemetry objects."""
+    """Background-thread HTTP server over the global telemetry objects.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    ``slos`` optionally overrides the objectives the ``/slo`` route
+    evaluates (defaults to ``repro.obs.health.DEFAULT_OBJECTIVES``).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, slos=None):
         self.host = host
+        self.slos = slos
         self._requested_port = port
         self._httpd: _Server | None = None
         self._thread: threading.Thread | None = None
@@ -121,6 +149,7 @@ class ObservabilityServer:
             raise RuntimeError("server already started")
         self._httpd = _Server((self.host, self._requested_port), _Handler)
         self._httpd.started_at = time.time()
+        self._httpd.slos = self.slos
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-obs-server",

@@ -1,0 +1,156 @@
+"""``repro top``: a stdlib-only live terminal dashboard for a running
+:class:`~repro.obs.server.ObservabilityServer`.
+
+Polls ``/health``, ``/querylog``, and ``/slo`` over HTTP and renders, in
+place (ANSI clear-and-home between frames), one row per engine: queries
+served, QPS over the recent window, p50/p95 latency, mean CPU time, error
+rate, and the worst SLO burn rate affecting that engine.  Nothing beyond
+``urllib`` is required, so it works anywhere the CLI does — including
+inside an ssh session next to a misbehaving deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+from typing import Any, TextIO
+
+from repro.obs.health import percentile
+
+CLEAR = "\x1b[H\x1b[2J"
+
+
+class TopDashboard:
+    """Fetch + aggregate + render loop behind ``repro top``."""
+
+    def __init__(self, url: str, window_s: float = 60.0, timeout: float = 5.0):
+        self.url = url.rstrip("/")
+        self.window_s = window_s
+        self.timeout = timeout
+
+    # -- data ------------------------------------------------------------------
+
+    def _get_json(self, path: str) -> dict[str, Any]:
+        with urllib.request.urlopen(
+            self.url + path, timeout=self.timeout
+        ) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    def fetch(self) -> dict[str, Any]:
+        """One poll of the server: health + query records + SLO report."""
+        return {
+            "health": self._get_json("/health"),
+            "querylog": self._get_json("/querylog"),
+            "slo": self._get_json("/slo"),
+        }
+
+    # -- aggregation -----------------------------------------------------------
+
+    def engine_rows(self, snap: dict[str, Any]) -> list[dict[str, Any]]:
+        """Per-engine aggregates from the polled query records."""
+        records = snap["querylog"].get("records", [])
+        now = time.time()
+        burn_by_engine: dict[str, float] = {}
+        for status in snap["slo"].get("statuses", []):
+            burn = status.get("long", {}).get("burn", 0.0)
+            engine = status.get("engine", "*")
+            burn_by_engine[engine] = max(burn_by_engine.get(engine, 0.0), burn)
+        engines: dict[str, list[dict[str, Any]]] = {}
+        for rec in records:
+            engines.setdefault(rec.get("engine", "?"), []).append(rec)
+        rows = []
+        for engine in sorted(engines):
+            recs = engines[engine]
+            lats = [r.get("latency_ms", 0.0) for r in recs]
+            recent = [
+                r for r in recs if r.get("ts", 0.0) >= now - self.window_s
+            ]
+            errors = sum(1 for r in recs if r.get("status") != "ok")
+            burn = burn_by_engine.get(engine, burn_by_engine.get("*", 0.0))
+            rows.append(
+                {
+                    "engine": engine,
+                    "queries": len(recs),
+                    "qps": len(recent) / self.window_s,
+                    "p50_ms": percentile(lats, 50),
+                    "p95_ms": percentile(lats, 95),
+                    "cpu_ms": (
+                        sum(r.get("cpu_ms", 0.0) for r in recs) / len(recs)
+                    ),
+                    "error_rate": errors / len(recs),
+                    "burn": burn,
+                }
+            )
+        return rows
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self, snap: dict[str, Any]) -> str:
+        health = snap["health"]
+        slo = snap["slo"]
+        state = "OK" if slo.get("ok", True) else "SLO BREACH"
+        lines = [
+            f"repro top — {self.url}  [{state}]",
+            f"uptime {health.get('uptime_s', 0):.0f}s   "
+            f"queries {health.get('queries_logged', 0)}   "
+            f"tracing {'on' if health.get('tracing') else 'off'}   "
+            f"window {self.window_s:g}s",
+            "",
+            f"{'ENGINE':<16}{'QUERIES':>8}{'QPS':>8}{'P50MS':>9}"
+            f"{'P95MS':>9}{'CPUMS':>9}{'ERR%':>7}{'BURN':>7}",
+        ]
+        rows = self.engine_rows(snap)
+        if not rows:
+            lines.append("  (no queries logged yet)")
+        for r in rows:
+            lines.append(
+                f"{r['engine']:<16}{r['queries']:>8}{r['qps']:>8.2f}"
+                f"{r['p50_ms']:>9.2f}{r['p95_ms']:>9.2f}{r['cpu_ms']:>9.2f}"
+                f"{r['error_rate'] * 100:>7.1f}{r['burn']:>7.2f}"
+            )
+        breaches = [
+            s for s in slo.get("statuses", []) if s.get("breached")
+        ]
+        if breaches:
+            lines.append("")
+            lines.append("breaches:")
+            for s in breaches:
+                lines.append(
+                    f"  {s['engine']} {s['signal']}: "
+                    f"burn(long)={s['long']['burn']:.2f} "
+                    f"burn(short)={s['short']['burn']:.2f} "
+                    f"target={s['target']:g}"
+                )
+        return "\n".join(lines)
+
+    # -- loop --------------------------------------------------------------------
+
+    def run(
+        self,
+        iterations: int | None = None,
+        interval: float = 2.0,
+        out: TextIO | None = None,
+        clear: bool = True,
+    ) -> int:
+        """Poll-and-render loop; ``iterations=None`` runs until Ctrl-C.
+
+        Returns the number of frames rendered.
+        """
+        out = out or sys.stdout
+        frames = 0
+        try:
+            while iterations is None or frames < iterations:
+                snap = self.fetch()
+                if clear:
+                    out.write(CLEAR)
+                out.write(self.render(snap) + "\n")
+                out.flush()
+                frames += 1
+                if iterations is not None and frames >= iterations:
+                    break
+                time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        return frames

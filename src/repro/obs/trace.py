@@ -30,15 +30,24 @@ class Span:
     """One timed, attributed unit of work.  Use as a context manager."""
 
     __slots__ = (
-        "name", "attrs", "children", "duration_s", "_tracer", "_t0", "_tid"
+        "name", "attrs", "children", "duration_s", "forced",
+        "_tracer", "_t0", "_tid",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict[str, Any],
+        forced: bool = False,
+    ):
         self._tracer = tracer
         self.name = name
         self.attrs: dict[str, Any] = attrs
         self.children: list[Span] = []
         self.duration_s: float = 0.0
+        #: force-recorded spans (offline pipeline) bypass trace sampling
+        self.forced = forced
         self._t0 = 0.0
         self._tid = 0
 
@@ -112,13 +121,19 @@ NOOP_SPAN = _NoopSpan()
 
 
 class Tracer:
-    """Creates spans and collects finished root spans in memory."""
+    """Creates spans and collects finished root spans in memory.
 
-    def __init__(self, enabled: bool = False):
+    An optional :class:`~repro.obs.sampling.TraceSampler` decides, once per
+    *completed* root span, whether its tree is retained — forced spans are
+    always kept, and with no sampler every tree is kept.
+    """
+
+    def __init__(self, enabled: bool = False, sampler=None):
         self._enabled = enabled
         self._roots: list[Span] = []
         self._local = threading.local()
         self._lock = threading.Lock()
+        self.sampler = sampler
 
     # -- state --------------------------------------------------------------------
 
@@ -147,7 +162,7 @@ class Tracer:
         """
         if not self._enabled and not force:
             return NOOP_SPAN
-        return Span(self, name, attrs)
+        return Span(self, name, attrs, forced=force)
 
     def current(self):
         """The innermost active span on this thread (no-op span if none)."""
@@ -164,6 +179,12 @@ class Tracer:
         return stack
 
     def _add_root(self, span: Span) -> None:
+        if (
+            self.sampler is not None
+            and not span.forced
+            and not self.sampler.keep(span)
+        ):
+            return
         with self._lock:
             self._roots.append(span)
 

@@ -65,6 +65,19 @@ class CorrelatedSearch:
         METRICS.inc("index.qcr.sketches_built", len(self._sketches))
         return self
 
+    def stats(self) -> dict:
+        """Introspection: sketch count and sample-size skew."""
+        from repro.obs.introspect import summarize_distribution
+
+        return {
+            "sketches": len(self._sketches),
+            "sketch_size": self.sketch_size,
+            "samples": sum(len(s) for s in self._sketches.values()),
+            "samples_per_sketch": summarize_distribution(
+                len(s) for s in self._sketches.values()
+            ),
+        }
+
     def search(
         self,
         query: Table,

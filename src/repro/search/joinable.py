@@ -79,6 +79,16 @@ class JoinableSearch:
         if not self._built:
             raise RuntimeError("call build() before querying")
 
+    def stats(self) -> dict:
+        """Introspection over the three join indexes this facade holds."""
+        self._require_built()
+        return {
+            "columns": len(self._sizes),
+            "josie": self._josie.stats(),
+            "lshensemble": self._ensemble.stats(),
+            "jaccard_lsh": self._jaccard_lsh.stats(),
+        }
+
     @staticmethod
     def _query_values(column: Column) -> set[str]:
         return set(column.value_set())

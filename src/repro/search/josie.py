@@ -42,6 +42,18 @@ class JosieIndex:
     def set_of(self, key: Hashable) -> frozenset[str]:
         return self._sets[key]
 
+    def stats(self) -> dict:
+        """Introspection: set-size skew plus the inverted index's posting
+        distribution (the two drivers of JOSIE's probe/verify cost)."""
+        from repro.obs.introspect import summarize_distribution
+
+        out = self._inv.stats()
+        out["sets"] = len(self._sets)
+        out["set_size"] = summarize_distribution(
+            len(s) for s in self._sets.values()
+        )
+        return out
+
     # -- baseline -------------------------------------------------------------------
 
     def full_merge_topk(

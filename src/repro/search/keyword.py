@@ -80,6 +80,17 @@ class KeywordSearchEngine:
         self._avg_len = (sum(self._doc_len.values()) / n) if n else 0.0
         METRICS.inc("index.keyword.tables_indexed", n)
 
+    def stats(self) -> dict:
+        """Introspection: corpus size, vocabulary, and document-length skew."""
+        from repro.obs.introspect import summarize_distribution
+
+        return {
+            "documents": len(self._docs),
+            "vocabulary": len(self._df),
+            "avg_doc_len": round(self._avg_len, 3),
+            "doc_len": summarize_distribution(self._doc_len.values()),
+        }
+
     def _idf(self, token: str) -> float:
         n = len(self._docs)
         df = self._df.get(token, 0)

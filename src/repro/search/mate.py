@@ -72,6 +72,19 @@ class MateIndex:
         self._rows[table.name] = rows
         METRICS.inc("index.mate.rows_indexed", len(rows))
 
+    def stats(self) -> dict:
+        """Introspection: indexed row counts per table (super-key store)."""
+        from repro.obs.introspect import summarize_distribution
+
+        return {
+            "tables": len(self._rows),
+            "rows": sum(len(r) for r in self._rows.values()),
+            "bits": self.bits,
+            "rows_per_table": summarize_distribution(
+                len(r) for r in self._rows.values()
+            ),
+        }
+
     def search(
         self,
         query: Table,

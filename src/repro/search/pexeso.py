@@ -62,6 +62,20 @@ class PexesoIndex:
                 METRICS.inc("index.pexeso.columns_indexed")
         return self
 
+    def stats(self) -> dict:
+        """Introspection: blocked vector volume plus the backing HNSW."""
+        from repro.obs.introspect import summarize_distribution
+
+        return {
+            "columns": len(self._column_vectors),
+            "vectors": sum(m.shape[0] for m in self._column_vectors.values()),
+            "dim": self.space.dim,
+            "vectors_per_column": summarize_distribution(
+                m.shape[0] for m in self._column_vectors.values()
+            ),
+            "hnsw": self._hnsw.stats() if self._hnsw is not None else {},
+        }
+
     def _query_vectors(self, column: Column) -> np.ndarray:
         vecs = []
         for value in sorted(column.value_set())[: self.config.max_values_per_column]:

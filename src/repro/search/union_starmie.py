@@ -114,6 +114,20 @@ class StarmieUnionSearch:
         METRICS.inc("index.starmie.columns_indexed", len(self._vectors))
         return self
 
+    def stats(self) -> dict:
+        """Introspection: embedded column store plus the ANN index behind it."""
+        out = {
+            "columns": len(self._vectors),
+            "index": self.config.index,
+            "dim": self.encoder.space.dim,
+        }
+        if self._hnsw is not None:
+            out["hnsw"] = self._hnsw.stats()
+        if self._lsh is not None:
+            out["lsh_tables"] = len(self._lsh._buckets)
+            out["lsh_buckets"] = sum(len(b) for b in self._lsh._buckets)
+        return out
+
     # -- retrieval -------------------------------------------------------------------
 
     def _column_candidates(self, v: np.ndarray) -> list[tuple[ColumnRef, float]]:

@@ -84,6 +84,16 @@ class TableUnionSearch:
         self._built = True
         return self
 
+    def stats(self) -> dict:
+        """Introspection: signature store sizes plus the prefilter LSH."""
+        return {
+            "minhashes": len(self._minhashes),
+            "class_vectors": len(self._class_vectors),
+            "embeddings": len(self._embeddings),
+            "measure": self.config.measure,
+            "lsh": self._lsh.stats() if self._lsh is not None else {},
+        }
+
     def _class_vector(self, values) -> dict[str, float]:
         """Normalized distribution of ontology classes over the values."""
         counts: dict[str, float] = {}

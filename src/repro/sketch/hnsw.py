@@ -190,6 +190,32 @@ class HNSW:
         """Simple neighbour selection: the ``limit`` closest candidates."""
         return sorted(cands)[:limit]
 
+    def stats(self) -> dict:
+        """Introspection: level histogram and layer-0 degree skew.
+
+        The level histogram verifies the exponential level assignment; the
+        degree distribution exposes hub nodes (graph quality) and the
+        entry-point level bounds greedy-descent work per query.
+        """
+        from repro.obs.introspect import summarize_distribution
+
+        levels: dict[int, int] = {}
+        for links in self._links:
+            top = len(links) - 1
+            levels[top] = levels.get(top, 0) + 1
+        return {
+            "nodes": len(self._keys),
+            "dim": self.dim,
+            "m": self.m,
+            "metric": self.metric,
+            "max_level": self._max_level,
+            "level_histogram": {str(k): levels[k] for k in sorted(levels)},
+            "degree_layer0": summarize_distribution(
+                len(links[0]) for links in self._links if links
+            ),
+            "distance_computations": self.distance_computations,
+        }
+
     # -- querying ----------------------------------------------------------------------
 
     def search(

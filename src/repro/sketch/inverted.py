@@ -60,6 +60,18 @@ class InvertedIndex:
     def keys(self) -> list[Hashable]:
         return list(self._sizes)
 
+    def stats(self) -> dict:
+        """Introspection: vocabulary size and posting-list skew."""
+        from repro.obs.introspect import summarize_distribution
+
+        return {
+            "keys": len(self._sizes),
+            "vocabulary": len(self._postings),
+            "posting_list_len": summarize_distribution(
+                len(p) for p in self._postings.values()
+            ),
+        }
+
     def overlaps(self, tokens: Iterable[str]) -> dict[Hashable, int]:
         """Exact overlap |Q ∩ X| for every indexed key X (full scan merge)."""
         counts: dict[Hashable, int] = {}

@@ -109,6 +109,22 @@ class MinHashLSH:
                     out.append(key)
         return out
 
+    def stats(self) -> dict:
+        """Introspection: banding shape and bucket-size skew (a giant
+        bucket means one band digest dominates candidate generation)."""
+        from repro.obs.introspect import summarize_distribution
+
+        return {
+            "keys": len(self._keys),
+            "threshold": self.threshold,
+            "bands": self.b,
+            "rows": self.r,
+            "buckets": sum(len(t) for t in self._tables),
+            "bucket_size": summarize_distribution(
+                len(keys) for t in self._tables for keys in t.values()
+            ),
+        }
+
     def query_verified(self, mh: MinHash) -> list[tuple[Hashable, float]]:
         """Candidates with estimated Jaccard >= threshold, sorted descending."""
         scored = []

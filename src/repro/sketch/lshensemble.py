@@ -128,6 +128,25 @@ class LSHEnsemble:
         METRICS.inc("index.lshensemble.keys_indexed", n)
         METRICS.set_gauge("index.lshensemble.partitions", len(self._partitions))
 
+    def stats(self) -> dict:
+        """Introspection: per-partition occupancy and cardinality bounds.
+
+        Equi-depth partitioning should yield near-uniform occupancy; a
+        skewed histogram means the cardinality distribution shifted under
+        the index and per-partition Jaccard thresholds are mistuned.
+        """
+        from repro.obs.introspect import summarize_distribution
+
+        occupancy = [len(b.keys) for _, b in self._partitions]
+        return {
+            "keys": sum(occupancy),
+            "num_perm": self.num_perm,
+            "partitions": len(self._partitions),
+            "partition_occupancy": occupancy,
+            "partition_upper_bounds": [u for u, _ in self._partitions],
+            "occupancy": summarize_distribution(occupancy),
+        }
+
     def query(
         self, mh: MinHash, size: int, threshold: float
     ) -> list[Hashable]:

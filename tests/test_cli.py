@@ -1,11 +1,22 @@
 """Tests for the command-line interface."""
 
+import json
+import time
+
 import pytest
 
 from repro.core.cli import build_parser, main
 from repro.datalake.generate import make_union_corpus
 from repro.datalake.lake import DataLake
 from repro.datalake.table import Table
+
+
+def all_subcommands() -> list[str]:
+    parser = build_parser()
+    for action in parser._actions:
+        if getattr(action, "choices", None):
+            return sorted(action.choices)
+    raise AssertionError("parser has no subcommands")
 
 
 @pytest.fixture(scope="module")
@@ -84,6 +95,130 @@ class TestCommands:
         assert main(["domains", str(directory), "-k", "3"]) == 0
         out = capsys.readouterr().out
         assert "domain 0:" in out
+
+
+class TestHelpSmoke:
+    """Satellite: every subcommand must at least render its --help."""
+
+    def test_subcommand_inventory(self):
+        commands = all_subcommands()
+        assert {"slo", "inspect", "top", "bench-compare"} <= set(commands)
+
+    @pytest.mark.parametrize("command", all_subcommands())
+    def test_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([command, "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "usage:" in out
+        assert command in out
+
+
+def write_log(path, latency_ms, status="ok", n=20):
+    now = time.time()
+    lines = []
+    for i in range(n):
+        lines.append(
+            json.dumps(
+                {
+                    "ts": now - i,
+                    "engine": "join",
+                    "query": f"q{i}",
+                    "latency_ms": latency_ms,
+                    "status": status,
+                    "error": None if status == "ok" else "TimeoutError",
+                }
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestSloCommand:
+    def test_healthy_log_exits_zero(self, tmp_path, capsys):
+        log = write_log(tmp_path / "ok.jsonl", latency_ms=5.0)
+        assert main(["slo", "--log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report (OK" in out
+
+    def test_breached_log_exits_one(self, tmp_path, capsys):
+        log = write_log(
+            tmp_path / "bad.jsonl", latency_ms=900.0, status="error"
+        )
+        assert main(["slo", "--log", str(log)]) == 1
+        out = capsys.readouterr().out
+        assert "BREACH" in out
+
+    def test_custom_objective_and_json(self, tmp_path, capsys):
+        log = write_log(tmp_path / "ok.jsonl", latency_ms=50.0)
+        rc = main(
+            [
+                "slo",
+                "--log",
+                str(log),
+                "--objective",
+                "join:10:0.5",
+                "--json",
+            ]
+        )
+        assert rc == 1  # 50ms against a 10ms target
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["statuses"][0]["engine"] == "join"
+
+    def test_log_and_url_are_mutually_exclusive(self, tmp_path):
+        log = write_log(tmp_path / "ok.jsonl", latency_ms=5.0)
+        with pytest.raises(SystemExit):
+            main(["slo", "--log", str(log), "--url", "http://localhost:1"])
+
+    def test_bad_objective_spec_rejected(self, tmp_path):
+        log = write_log(tmp_path / "ok.jsonl", latency_ms=5.0)
+        with pytest.raises(ValueError):
+            main(["slo", "--log", str(log), "--objective", "join"])
+
+    def test_url_source(self, capsys):
+        from repro import obs
+        from repro.obs.server import ObservabilityServer
+
+        obs.reset()
+        obs.QUERY_LOG.append(
+            obs.QueryRecord(engine="join", query="q", latency_ms=2.0)
+        )
+        with ObservabilityServer(port=0) as srv:
+            assert main(["slo", "--url", srv.url]) == 0
+        assert "SLO report (OK" in capsys.readouterr().out
+        obs.reset()
+
+
+class TestInspectCommand:
+    def test_inspect_reports_every_index(self, lake_dir, capsys):
+        directory, _ = lake_dir
+        assert main(["inspect", str(directory), "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        names = {r["name"] for r in reports}
+        # Acceptance: non-empty stats for every default-pipeline index.
+        assert {
+            "keyword",
+            "josie",
+            "lshensemble",
+            "jaccard_lsh",
+            "tus",
+            "starmie",
+            "pexeso",
+            "mate",
+            "qcr",
+            "organization",
+        } <= names
+        for r in reports:
+            assert r["memory_bytes"] > 0, r["name"]
+            assert r["detail"], r["name"]
+
+    def test_inspect_human_output(self, lake_dir, capsys):
+        directory, _ = lake_dir
+        assert main(["inspect", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "KiB total" in out
+        assert "josie" in out
 
 
 class TestSaveRoundTrip:

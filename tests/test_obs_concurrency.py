@@ -1,0 +1,87 @@
+"""Satellite: hammer the observability singletons from many threads while
+an HTTP scraper reads /metrics — totals must stay consistent and no request
+may error."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.server import ObservabilityServer
+
+N_THREADS = 8
+N_ITERS = 200
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.QUERY_LOG.configure(capacity=1024, sink="")
+    obs.reset()
+
+
+def test_concurrent_writers_and_scraper():
+    obs.QUERY_LOG.configure(capacity=N_THREADS * N_ITERS + 10)
+    obs.TRACER.enable()
+    obs.configure_sampling(rate=0.5, slow_ms=None, seed=2)
+    start = threading.Barrier(N_THREADS + 1)
+    errors: list[BaseException] = []
+
+    def worker(tid: int) -> None:
+        try:
+            start.wait()
+            for i in range(N_ITERS):
+                obs.METRICS.inc("conc.queries")
+                obs.METRICS.observe("conc.latency_ms", float(i % 17))
+                obs.METRICS.set_gauge(f"conc.worker.{tid}", i)
+                with obs.TRACER.span("conc.query", worker=tid):
+                    pass
+                obs.QUERY_LOG.append(
+                    obs.QueryRecord(
+                        engine=f"e{tid % 3}",
+                        query=f"w{tid}.q{i}",
+                        latency_ms=0.1,
+                    )
+                )
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,)) for tid in range(N_THREADS)
+    ]
+    for t in threads:
+        t.start()
+
+    with ObservabilityServer(port=0) as srv:
+        start.wait()
+        scrapes = 0
+        while any(t.is_alive() for t in threads):
+            with urllib.request.urlopen(srv.url + "/metrics", timeout=5) as r:
+                assert r.status == 200
+            with urllib.request.urlopen(srv.url + "/querylog?n=5", timeout=5) as r:
+                json.loads(r.read().decode())
+            scrapes += 1
+        for t in threads:
+            t.join()
+        # One final consistent scrape after all writers are done.
+        with urllib.request.urlopen(srv.url + "/metrics", timeout=5) as r:
+            body = r.read().decode()
+        with urllib.request.urlopen(srv.url + "/slo", timeout=5) as r:
+            slo = json.loads(r.read().decode())
+
+    assert not errors, errors
+    assert scrapes >= 1
+    total = N_THREADS * N_ITERS
+    assert f"repro_conc_queries_total {total}" in body
+    assert obs.METRICS.snapshot()["counters"]["conc.queries"] == total
+    assert obs.QUERY_LOG.total == total
+    assert len(obs.QUERY_LOG.records()) == total
+    # Sampling decisions happened once per root span, under contention.
+    stats = obs.SAMPLER.stats()
+    assert stats["decisions"] == total
+    assert stats["kept"] + stats["dropped"] == total
+    assert len(obs.TRACER.roots()) == stats["kept"]
+    assert slo["ok"] is True

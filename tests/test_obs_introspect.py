@@ -1,0 +1,136 @@
+"""Tests for index introspection: deep_sizeof, distributions, system stats."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.config import DiscoveryConfig
+from repro.core.system import DiscoverySystem
+from repro.obs.introspect import (
+    IndexStatsReport,
+    clear_published,
+    deep_sizeof,
+    publish,
+    published,
+    summarize_distribution,
+)
+
+
+class TestDeepSizeof:
+    def test_container_larger_than_empty(self):
+        assert deep_sizeof({"a": [1, 2, 3]}) > deep_sizeof({})
+        assert deep_sizeof(["x" * 100]) > deep_sizeof([])
+
+    def test_numpy_counts_buffer(self):
+        arr = np.zeros(10_000, dtype=np.float64)
+        assert deep_sizeof(arr) >= arr.nbytes
+
+    def test_shared_object_counted_once(self):
+        shared = ["payload" * 50]
+        assert deep_sizeof([shared, shared]) < 2 * deep_sizeof([shared])
+
+    def test_object_with_dict_and_slots(self):
+        class Slotted:
+            __slots__ = ("a", "b")
+
+            def __init__(self):
+                self.a = list(range(100))
+                self.b = "y" * 200
+
+        class Plain:
+            def __init__(self):
+                self.payload = list(range(100))
+
+        assert deep_sizeof(Slotted()) > deep_sizeof(list(range(100)))
+        assert deep_sizeof(Plain()) > deep_sizeof(list(range(100)))
+
+    def test_self_referencing_terminates(self):
+        loop = []
+        loop.append(loop)
+        assert deep_sizeof(loop) > 0
+
+
+class TestSummarizeDistribution:
+    def test_empty(self):
+        out = summarize_distribution([])
+        assert out["count"] == 0
+
+    def test_summary_fields(self):
+        out = summarize_distribution([1, 2, 3, 4, 100])
+        assert out["count"] == 5
+        assert out["total"] == 110
+        assert out["min"] == 1
+        assert out["max"] == 100
+        assert out["p50"] == 3
+        assert out["mean"] == pytest.approx(22.0)
+
+
+class TestPublishRegistry:
+    def test_publish_and_read_back(self):
+        clear_published()
+        report = IndexStatsReport(
+            name="demo", kind="test", items=3, memory_bytes=128, detail={"k": 1}
+        )
+        publish([report])
+        assert [r.name for r in published()] == ["demo"]
+        clear_published()
+        assert published() == []
+
+    def test_report_to_dict_and_render(self):
+        report = IndexStatsReport(
+            name="demo",
+            kind="test",
+            items=3,
+            memory_bytes=2048,
+            detail={"posting_list_len": {"count": 3, "p95": 7}},
+        )
+        d = report.to_dict()
+        assert d["name"] == "demo"
+        assert d["memory_bytes"] == 2048
+        text = report.render()
+        assert "demo" in text and "test" in text
+
+
+class TestSystemIndexStats:
+    @pytest.fixture(scope="class")
+    def system(self, union_corpus):
+        obs.reset()
+        config = DiscoveryConfig(embedding_dim=16, num_partitions=4)
+        return DiscoverySystem(union_corpus.lake, config).build()
+
+    def test_every_built_index_reports(self, system):
+        reports = system.index_stats()
+        names = {r.name for r in reports}
+        # Every index built by the default pipeline shows up.
+        assert {
+            "keyword",
+            "josie",
+            "lshensemble",
+            "jaccard_lsh",
+            "tus",
+            "starmie",
+            "pexeso",
+            "mate",
+            "qcr",
+            "organization",
+        } <= names
+        for r in reports:
+            assert r.memory_bytes > 0, r.name
+            assert r.items >= 0, r.name
+            assert r.detail, r.name
+
+    def test_distribution_stats_present(self, system):
+        by_name = {r.name: r for r in system.index_stats()}
+        josie = by_name["josie"]
+        assert josie.detail["posting_list_len"]["count"] > 0
+        keyword = by_name["keyword"]
+        assert keyword.detail["vocabulary"] > 0
+
+    def test_gauges_and_publication(self, system):
+        clear_published()
+        reports = system.index_stats()
+        assert [r.name for r in published()] == [r.name for r in reports]
+        snapshot = obs.METRICS.snapshot()
+        gauges = snapshot["gauges"]
+        assert gauges["index.keyword.items"] > 0
+        assert gauges["index.josie.memory_bytes"] > 0

@@ -1,0 +1,168 @@
+"""Tests for head-based trace sampling: rates, escape hatches, overhead."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.sampling import TraceSampler, span_tree_has_error
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    obs.configure_sampling(rate=1.0, slow_ms=None, seed=0)
+    yield
+    obs.configure_sampling(rate=1.0, slow_ms=None, seed=0)
+    obs.reset()
+
+
+def run_queries(tracer: Tracer, n: int, attrs_every: int | None = None):
+    for i in range(n):
+        with tracer.span(f"query.{i}") as sp:
+            if attrs_every and i % attrs_every == 0:
+                sp.set("error", "Boom")
+
+
+class TestTraceSampler:
+    def test_default_keeps_everything(self):
+        sampler = TraceSampler()
+        tracer = Tracer(enabled=True, sampler=sampler)
+        run_queries(tracer, 20)
+        assert len(tracer.roots()) == 20
+        assert sampler.stats()["dropped"] == 0
+
+    def test_rate_zero_drops_all_healthy_spans(self):
+        sampler = TraceSampler(rate=0.0)
+        tracer = Tracer(enabled=True, sampler=sampler)
+        run_queries(tracer, 50)
+        assert tracer.roots() == []
+        assert sampler.stats()["dropped"] == 50
+
+    def test_low_rate_retains_small_fraction(self):
+        # Acceptance: rate 0.01 over 1000 queries keeps <= ~5% of spans.
+        sampler = TraceSampler(rate=0.01, seed=7)
+        tracer = Tracer(enabled=True, sampler=sampler)
+        run_queries(tracer, 1000)
+        kept = len(tracer.roots())
+        assert kept <= 50
+        stats = sampler.stats()
+        assert stats["decisions"] == 1000
+        assert stats["kept"] + stats["dropped"] == 1000
+        assert stats["kept"] == kept
+
+    def test_error_spans_always_kept(self):
+        sampler = TraceSampler(rate=0.0)
+        tracer = Tracer(enabled=True, sampler=sampler)
+        run_queries(tracer, 100, attrs_every=10)
+        roots = tracer.roots()
+        assert len(roots) == 10
+        assert all(span_tree_has_error(r) for r in roots)
+        assert sampler.stats()["kept_error"] == 10
+
+    def test_error_in_child_keeps_whole_tree(self):
+        sampler = TraceSampler(rate=0.0)
+        tracer = Tracer(enabled=True, sampler=sampler)
+        with tracer.span("root"):
+            with tracer.span("child") as child:
+                child.set("error", "ValueError")
+        (root,) = tracer.roots()
+        assert root.name == "root"
+        assert root.children[0].attrs["error"] == "ValueError"
+
+    def test_slow_spans_always_kept(self):
+        sampler = TraceSampler(rate=0.0, slow_ms=1.0)
+        tracer = Tracer(enabled=True, sampler=sampler)
+        with tracer.span("slow"):
+            time.sleep(0.005)
+        with tracer.span("fast"):
+            pass
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["slow"]
+        assert sampler.stats()["kept_slow"] == 1
+
+    def test_forced_spans_bypass_sampling(self):
+        sampler = TraceSampler(rate=0.0)
+        tracer = Tracer(enabled=True, sampler=sampler)
+        with tracer.span("offline.build", force=True):
+            pass
+        assert [r.name for r in tracer.roots()] == ["offline.build"]
+        # Forced spans never reach the sampler.
+        assert sampler.stats()["decisions"] == 0
+
+    def test_deterministic_for_fixed_seed(self):
+        def kept_names(seed):
+            sampler = TraceSampler(rate=0.2, seed=seed)
+            tracer = Tracer(enabled=True, sampler=sampler)
+            run_queries(tracer, 200)
+            return [r.name for r in tracer.roots()]
+
+        assert kept_names(3) == kept_names(3)
+        assert kept_names(3) != kept_names(4)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSampler(rate=1.5)
+        with pytest.raises(ValueError):
+            TraceSampler().configure(rate=-0.1)
+        with pytest.raises(ValueError):
+            TraceSampler().configure(slow_ms=-5)
+
+    def test_configure_partial_update(self):
+        sampler = TraceSampler(rate=0.5, slow_ms=100.0)
+        sampler.configure(rate=0.25)
+        assert sampler.rate == 0.25
+        assert sampler.slow_ms == 100.0
+        sampler.configure(slow_ms=None)
+        assert sampler.slow_ms is None
+
+
+class TestProcessWideSampling:
+    def test_configure_sampling_applies_to_global_tracer(self):
+        obs.configure_sampling(rate=0.0)
+        obs.TRACER.enable()
+        with obs.TRACER.span("q"):
+            pass
+        assert obs.TRACER.roots() == []
+        assert obs.report()["sampling"]["dropped"] == 1
+
+    def test_reset_clears_sampler_counters(self):
+        obs.configure_sampling(rate=0.0)
+        obs.TRACER.enable()
+        with obs.TRACER.span("q"):
+            pass
+        obs.reset()
+        stats = obs.SAMPLER.stats()
+        assert stats["decisions"] == 0
+        assert stats["dropped"] == 0
+
+
+class TestSamplingOverhead:
+    def test_low_rate_overhead_within_budget(self):
+        """Acceptance: with rate 0.01, mean per-query overhead stays within
+        10% of tracing-disabled for a realistic (non-trivial) workload."""
+
+        def workload():
+            # ~100us of real work, dwarfing span bookkeeping.
+            return sum(i * i for i in range(3000))
+
+        def timed(tracer, n=300):
+            t0 = time.perf_counter()
+            for i in range(n):
+                if tracer is None:
+                    workload()
+                else:
+                    with tracer.span("q"):
+                        workload()
+            return (time.perf_counter() - t0) / n
+
+        sampler = TraceSampler(rate=0.01, seed=1)
+        tracer = Tracer(enabled=True, sampler=sampler)
+        timed(None)  # warm up
+        timed(tracer)
+        baseline = min(timed(None) for _ in range(5))
+        sampled = min(timed(tracer) for _ in range(5))
+        assert sampled <= baseline * 1.10, (
+            f"sampled={sampled * 1e6:.1f}us baseline={baseline * 1e6:.1f}us"
+        )

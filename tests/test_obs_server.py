@@ -90,6 +90,92 @@ class TestObservabilityServer:
             get(server.url + "/nope")
         assert exc.value.code == 404
 
+    def test_querylog_engine_filter(self, server):
+        obs.QUERY_LOG.append(
+            obs.QueryRecord(engine="join", query="j1", latency_ms=0.2)
+        )
+        _, _, body = get(server.url + "/querylog?engine=join")
+        payload = json.loads(body)
+        assert payload["engine"] == "join"
+        assert payload["returned"] == 1
+        assert [r["engine"] for r in payload["records"]] == ["join"]
+        # Unknown engine filters to nothing rather than erroring.
+        _, _, body = get(server.url + "/querylog?engine=nope")
+        assert json.loads(body)["records"] == []
+
+    def test_querylog_n_capped_at_capacity(self, server):
+        _, _, body = get(
+            server.url + f"/querylog?n={obs.QUERY_LOG.capacity * 100}"
+        )
+        payload = json.loads(body)
+        assert payload["returned"] <= obs.QUERY_LOG.capacity
+
+    def test_slo_endpoint_healthy(self, server):
+        status, ctype, body = get(server.url + "/slo")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["ok"] is True
+        assert payload["statuses"]
+        assert {s["signal"] for s in payload["statuses"]} == {
+            "latency",
+            "errors",
+        }
+
+    def test_slo_endpoint_reports_breach(self, server):
+        for _ in range(20):
+            obs.QUERY_LOG.append(
+                obs.QueryRecord(
+                    engine="join",
+                    query="slow",
+                    latency_ms=5000.0,
+                    status="error",
+                    error="TimeoutError",
+                )
+            )
+        payload = json.loads(get(server.url + "/slo")[2])
+        assert payload["ok"] is False
+        assert any(s["breached"] for s in payload["statuses"])
+
+    def test_slo_endpoint_honors_custom_objectives(self):
+        from repro.obs.health import SloObjective
+
+        obs.reset()
+        obs.QUERY_LOG.append(
+            obs.QueryRecord(engine="join", query="q", latency_ms=50.0)
+        )
+        slos = (SloObjective("join", p95_ms=1.0, error_rate=None),)
+        with ObservabilityServer(port=0, slos=slos) as srv:
+            payload = json.loads(get(srv.url + "/slo")[2])
+        assert payload["ok"] is False
+        obs.reset()
+
+    def test_indexstats_endpoint(self, server):
+        from repro.obs.introspect import (
+            IndexStatsReport,
+            clear_published,
+            publish,
+        )
+
+        clear_published()
+        _, _, body = get(server.url + "/indexstats")
+        assert json.loads(body) == {"reports": []}
+        publish(
+            [
+                IndexStatsReport(
+                    name="demo",
+                    kind="test",
+                    items=4,
+                    memory_bytes=512,
+                    detail={"keys": 4},
+                )
+            ]
+        )
+        payload = json.loads(get(server.url + "/indexstats")[2])
+        assert payload["reports"][0]["name"] == "demo"
+        assert payload["reports"][0]["memory_bytes"] == 512
+        clear_published()
+
     def test_context_manager_stops_server(self):
         with ObservabilityServer(port=0) as srv:
             url = srv.url

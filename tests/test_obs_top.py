@@ -1,0 +1,94 @@
+"""Tests for the `repro top` terminal dashboard against a live server."""
+
+import io
+
+import pytest
+
+from repro import obs
+from repro.core.cli import main
+from repro.obs.server import ObservabilityServer
+from repro.obs.top import TopDashboard
+
+
+@pytest.fixture()
+def server():
+    obs.reset()
+    for i in range(10):
+        obs.QUERY_LOG.append(
+            obs.QueryRecord(engine="join", query=f"q{i}", latency_ms=4.0 + i)
+        )
+    for i in range(5):
+        obs.QUERY_LOG.append(
+            obs.QueryRecord(
+                engine="keyword",
+                query=f"kw{i}",
+                latency_ms=900.0,
+                status="error",
+                error="ValueError",
+            )
+        )
+    srv = ObservabilityServer(port=0)
+    srv.start()
+    yield srv
+    srv.stop()
+    obs.reset()
+
+
+class TestTopDashboard:
+    def test_single_refresh_renders_engine_rows(self, server):
+        out = io.StringIO()
+        dash = TopDashboard(server.url)
+        frames = dash.run(iterations=1, interval=0.0, out=out, clear=False)
+        assert frames == 1
+        text = out.getvalue()
+        assert "repro top" in text
+        assert "ENGINE" in text and "P95MS" in text and "BURN" in text
+        assert "join" in text and "keyword" in text
+        # The keyword engine is 100% errors and slow: the SLO breaches.
+        assert "SLO BREACH" in text
+        assert "breaches:" in text
+
+    def test_engine_rows_aggregate(self, server):
+        dash = TopDashboard(server.url)
+        rows = {r["engine"]: r for r in dash.engine_rows(dash.fetch())}
+        assert rows["join"]["queries"] == 10
+        assert rows["join"]["error_rate"] == 0.0
+        assert rows["keyword"]["error_rate"] == 1.0
+        assert rows["keyword"]["p95_ms"] == pytest.approx(900.0)
+        assert rows["keyword"]["burn"] > 1.0
+
+    def test_clear_sequence_emitted_when_requested(self, server):
+        out = io.StringIO()
+        TopDashboard(server.url).run(
+            iterations=1, interval=0.0, out=out, clear=True
+        )
+        assert out.getvalue().startswith("\x1b[H\x1b[2J")
+
+    def test_empty_log_renders_placeholder(self):
+        obs.reset()
+        with ObservabilityServer(port=0) as srv:
+            out = io.StringIO()
+            TopDashboard(srv.url).run(
+                iterations=1, interval=0.0, out=out, clear=False
+            )
+        assert "(no queries logged yet)" in out.getvalue()
+        obs.reset()
+
+    def test_cli_top_exits_zero(self, server, capsys):
+        rc = main(
+            ["top", "--url", server.url, "--iterations", "1", "--interval", "0"]
+        )
+        assert rc == 0
+        assert "repro top" in capsys.readouterr().out
+
+    def test_cli_top_unreachable_server_errors(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "top",
+                    "--url",
+                    "http://127.0.0.1:1",
+                    "--iterations",
+                    "1",
+                ]
+            )

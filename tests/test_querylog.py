@@ -79,6 +79,100 @@ class TestRing:
         assert len(sink.read_text().strip().splitlines()) == 2
 
 
+class TestResourceFields:
+    def test_to_dict_includes_cpu_and_memory(self):
+        rec = QueryRecord(
+            engine="join",
+            query="q",
+            latency_ms=1.0,
+            cpu_ms=0.75,
+            mem_peak_kb=128.5,
+            funnel={"candidates": 10, "returned": 3},
+        )
+        d = rec.to_dict()
+        assert d["cpu_ms"] == 0.75
+        assert d["mem_peak_kb"] == 128.5
+        assert d["funnel_total"] == 13
+        # Memory accounting is opt-in: no key when it was off.
+        assert "mem_peak_kb" not in QueryRecord(
+            engine="e", query="q", latency_ms=0.1
+        ).to_dict()
+
+    def test_from_dict_round_trip(self):
+        rec = QueryRecord(
+            engine="join",
+            query="q",
+            k=5,
+            latency_ms=2.5,
+            cpu_ms=1.25,
+            mem_peak_kb=64.0,
+            status="error",
+            error="ValueError",
+        )
+        back = QueryRecord.from_dict(rec.to_dict())
+        assert back.engine == rec.engine
+        assert back.cpu_ms == rec.cpu_ms
+        assert back.mem_peak_kb == rec.mem_peak_kb
+        assert back.error == "ValueError"
+
+    def test_from_dict_tolerates_old_records(self):
+        # Records serialized before cpu/mem fields existed still load.
+        back = QueryRecord.from_dict(
+            {"engine": "keyword", "query": "q", "latency_ms": 3.0}
+        )
+        assert back.cpu_ms == 0.0
+        assert back.mem_peak_kb is None
+
+    def test_load_jsonl(self, tmp_path):
+        from repro.obs.querylog import load_jsonl
+
+        sink = tmp_path / "q.jsonl"
+        log = QueryLog()
+        log.configure(sink=str(sink))
+        log.append(QueryRecord(engine="join", query="a", latency_ms=0.1))
+        log.append(QueryRecord(engine="keyword", query="b", latency_ms=0.2))
+        records = load_jsonl(str(sink))
+        assert [r.engine for r in records] == ["join", "keyword"]
+
+
+class TestEngineFilter:
+    def make_log(self):
+        log = QueryLog()
+        for i in range(4):
+            log.append(QueryRecord(engine="join", query=f"j{i}", latency_ms=0.1))
+        for i in range(2):
+            log.append(
+                QueryRecord(engine="keyword", query=f"k{i}", latency_ms=0.1)
+            )
+        return log
+
+    def test_records_and_tail_filter(self):
+        log = self.make_log()
+        assert len(log.records(engine="join")) == 4
+        assert [r.query for r in log.tail(1, engine="keyword")] == ["k1"]
+        assert log.records(engine="nope") == []
+
+    def test_engines_enumeration(self):
+        assert self.make_log().engines() == ["join", "keyword"]
+
+    def test_to_dicts_filter(self):
+        dicts = self.make_log().to_dicts(engine="keyword")
+        assert [d["query"] for d in dicts] == ["k0", "k1"]
+
+
+class TestReset:
+    def test_obs_reset_clears_query_log(self):
+        """Satellite regression: reset() must clear the ring, not just
+        metrics and traces."""
+        obs.QUERY_LOG.append(
+            QueryRecord(engine="e", query="stale", latency_ms=0.1)
+        )
+        assert obs.QUERY_LOG.total == 1
+        obs.reset()
+        assert obs.QUERY_LOG.total == 0
+        assert obs.QUERY_LOG.records() == []
+
+
 class TestSystemIntegration:
     @pytest.fixture(scope="class")
     def system(self, union_corpus):
@@ -108,6 +202,27 @@ class TestSystemIntegration:
         last = obs.QUERY_LOG.records()[-1]
         assert last.status == "error"
         assert last.error == "ValueError"
+
+    def test_cpu_time_recorded(self, system):
+        system.keyword_search("concept", k=3)
+        last = obs.QUERY_LOG.records()[-1]
+        assert last.cpu_ms >= 0
+        assert last.cpu_ms <= last.latency_ms * 10  # sanity: same magnitude
+        assert "cpu_ms" in last.to_dict()
+
+    def test_memory_accounting_opt_in(self, system):
+        try:
+            assert not obs.memory_accounting_enabled()
+            system.keyword_search("concept", k=3)
+            assert obs.QUERY_LOG.records()[-1].mem_peak_kb is None
+            obs.enable_memory_accounting()
+            assert obs.memory_accounting_enabled()
+            system.keyword_search("concept", k=3)
+            peak = obs.QUERY_LOG.records()[-1].mem_peak_kb
+            assert peak is not None and peak >= 0
+        finally:
+            obs.disable_memory_accounting()
+        assert not obs.memory_accounting_enabled()
 
     def test_report_includes_querylog(self, system):
         system.keyword_search("concept")
