@@ -1,18 +1,22 @@
 """Core: the Figure-1 end-to-end discovery system."""
 
 from repro.core.config import DiscoveryConfig, PipelineStats
+from repro.core.dag import Stage, StageCycleError, StageGraph
 from repro.core.errors import (
     ConfigError,
     CsvFormatError,
     DiscoveryError,
     LakeError,
     SchemaError,
+    SnapshotError,
 )
 from repro.core.pipeline import STAGES, pipeline_report, run_pipeline
-from repro.core.system import DiscoverySystem
+from repro.core.snapshot import SnapshotManifest
+from repro.core.system import STAGE_DEPS, DiscoverySystem
 
 __all__ = [
     "STAGES",
+    "STAGE_DEPS",
     "ConfigError",
     "CsvFormatError",
     "DiscoveryConfig",
@@ -21,6 +25,11 @@ __all__ = [
     "LakeError",
     "PipelineStats",
     "SchemaError",
+    "SnapshotError",
+    "SnapshotManifest",
+    "Stage",
+    "StageCycleError",
+    "StageGraph",
     "pipeline_report",
     "run_pipeline",
 ]

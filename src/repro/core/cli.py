@@ -3,10 +3,12 @@
 Usage::
 
     python -m repro stats     <lake_dir>
+    python -m repro build     <lake_dir> [--jobs 4] [--save snapdir]
     python -m repro keyword   <lake_dir> --query "air quality" [-k 5]
     python -m repro join      <lake_dir> --table cities --column 0 [-k 5]
     python -m repro union     <lake_dir> --table cities [-k 5] [--method starmie]
-    python -m repro query     <lake_dir> --engine join --table cities [--explain]
+    python -m repro query     <lake_dir> --engine join --table cities
+                              [--explain] [--load snapdir]
     python -m repro navigate  <lake_dir> --intent "city population"
     python -m repro domains   <lake_dir>
     python -m repro profile   <lake_dir> [-o report.json] [--no-embeddings]
@@ -87,6 +89,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("lake_dir")
     common(p)
 
+    p = sub.add_parser(
+        "build",
+        help="run the offline pipeline (optionally in parallel over the "
+        "stage DAG) and optionally save an index snapshot",
+    )
+    p.add_argument("lake_dir", help="directory of CSV files")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker threads for the stage DAG (1 = sequential)",
+    )
+    p.add_argument(
+        "--save",
+        metavar="DIR",
+        help="persist the built indexes as a snapshot directory "
+        "(reload with `repro query --load DIR`)",
+    )
+    p.add_argument(
+        "--skip",
+        action="append",
+        default=[],
+        metavar="STAGE",
+        help="skip a pipeline stage by name (repeatable)",
+    )
+    p.add_argument(
+        "--no-embeddings",
+        action="store_true",
+        help="skip the embedding stage (and everything that needs it)",
+    )
+    common(p)
+
     p = sub.add_parser("keyword", help="metadata keyword search")
     lake_arg(p)
     p.add_argument("--query", required=True)
@@ -146,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="print EXPLAIN provenance: the per-stage candidate funnel",
+    )
+    p.add_argument(
+        "--load",
+        metavar="DIR",
+        help="load the indexes from a snapshot directory (written by "
+        "`repro build --save`) instead of rebuilding the pipeline; the "
+        "snapshot must match the lake or the query is refused",
     )
 
     p = sub.add_parser("navigate", help="navigate the lake by intent")
@@ -350,11 +391,51 @@ def _run_profile(args, out) -> int:
         obs.disable_tracing()
 
 
+def _run_build(args, out) -> int:
+    """The ``build`` subcommand: parallel offline build + snapshot save."""
+    from repro.core.pipeline import pipeline_report
+
+    lake = DataLake.from_directory(args.lake_dir)
+    config = DiscoveryConfig(
+        enable_embeddings=not args.no_embeddings,
+        embedding_min_count=1,
+        build_jobs=max(1, args.jobs),
+    )
+    t0 = time.perf_counter()
+    system = DiscoverySystem(lake, config).build(skip=set(args.skip))
+    wall_ms = (time.perf_counter() - t0) * 1000
+    print(pipeline_report(system), file=out)
+    print(
+        f"built in {wall_ms:.1f} ms wall with {config.build_jobs} job(s) "
+        f"(peak stage concurrency "
+        f"{system.provenance['max_concurrent_stages']})",
+        file=out,
+    )
+    if args.save:
+        manifest = system.save(args.save)
+        print(
+            f"saved snapshot to {args.save} "
+            f"(config {manifest.config_hash}, "
+            f"lake {manifest.lake_fingerprint[:12]})",
+            file=out,
+        )
+    return 0
+
+
 def _run_query(args, out) -> int:
     """The ``query`` subcommand: one online query, optionally EXPLAINed."""
+    from repro.core.errors import SnapshotError
+
     engine = args.engine
-    need_embeddings = engine in ("fuzzy", "union")
-    system = _system(args.lake_dir, need_embeddings=need_embeddings)
+    if args.load:
+        lake = DataLake.from_directory(args.lake_dir)
+        try:
+            system = DiscoverySystem.load(args.load, lake=lake)
+        except SnapshotError as exc:
+            raise SystemExit(f"cannot load snapshot: {exc}") from exc
+    else:
+        need_embeddings = engine in ("fuzzy", "union")
+        system = _system(args.lake_dir, need_embeddings=need_embeddings)
     explain = args.explain
 
     def need_table():
@@ -559,6 +640,12 @@ def _run_inspect(args, out) -> int:
             f"{len(reports)} indexes, estimated {total / 1024:.1f} KiB total",
             file=out,
         )
+        prov = system.provenance
+        if prov:
+            fields = ", ".join(
+                f"{k}={v}" for k, v in sorted(prov.items()) if k != "source"
+            )
+            print(f"provenance: {prov.get('source', '?')} ({fields})", file=out)
         for r in reports:
             print(r.render(), file=out)
     return 0
@@ -598,6 +685,9 @@ def _run(args, out) -> int:
         for key, value in lake.stats().items():
             print(f"{key:>8}: {value}", file=out)
         return 0
+
+    if args.command == "build":
+        return _run_build(args, out)
 
     if args.command == "profile":
         return _run_profile(args, out)

@@ -39,6 +39,10 @@ class DiscoveryConfig:
     enable_domains: bool = False
     enable_annotation: bool = True
 
+    # offline build parallelism: worker threads for the stage DAG
+    # (1 = the legacy sequential build; results are identical either way)
+    build_jobs: int = 1
+
     # production health: head-based trace sampling (1.0 = keep every span
     # tree) with an always-keep slow-query threshold, and declarative
     # per-engine service-level objectives evaluated over the query log
@@ -63,6 +67,10 @@ class DiscoveryConfig:
             raise ConfigError(f"unknown union_index {self.union_index!r}")
         if not 0 <= self.context_weight < 1:
             raise ConfigError("context_weight must be in [0, 1)")
+        if self.build_jobs < 1:
+            raise ConfigError(
+                f"build_jobs must be >= 1, got {self.build_jobs}"
+            )
         if not 0 <= self.trace_sample_rate <= 1:
             raise ConfigError("trace_sample_rate must be in [0, 1]")
         if self.slow_query_ms < 0:

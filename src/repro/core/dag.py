@@ -1,0 +1,156 @@
+"""Stage-DAG executor for the offline pipeline.
+
+The Figure-1 offline pipeline is not a chain: embeddings feed the union
+indexes and navigation, annotation feeds SANTOS, and the keyword / join /
+correlation / MATE indexes are mutually independent.  :class:`StageGraph`
+captures those dependencies explicitly and executes the stages either
+sequentially (``jobs=1``, the legacy order) or on a
+``concurrent.futures.ThreadPoolExecutor`` (``jobs>1``), scheduling a stage
+the moment its dependencies complete.
+
+Stages hold the GIL for pure-Python work, but the heavy stages spend much
+of their time in numpy/scipy kernels that release it, so independent
+stages genuinely overlap.  Results are deterministic regardless of
+``jobs``: every stage writes disjoint state and seeds its own RNGs, so the
+executor only changes *when* a stage runs, never what it computes.
+
+A dependency naming a stage absent from the graph (disabled or skipped)
+is treated as satisfied — the dependent stage must itself tolerate the
+missing input, exactly as the sequential pipeline always has.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+class StageCycleError(ValueError):
+    """The declared stage dependencies contain a cycle."""
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One offline pipeline stage: a name, a thunk, and its dependencies."""
+
+    name: str
+    fn: Callable[[], None]
+    deps: tuple[str, ...] = ()
+
+
+class StageGraph:
+    """A dependency graph of named stages with a deterministic topological
+    order (stable with respect to the declaration order)."""
+
+    def __init__(self, stages: Sequence[Stage]):
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in {names}")
+        self._stages: dict[str, Stage] = {s.name: s for s in stages}
+        # Dependencies on stages not in the graph are trivially satisfied.
+        self._deps: dict[str, tuple[str, ...]] = {
+            s.name: tuple(d for d in s.deps if d in self._stages)
+            for s in stages
+        }
+        self._order = self._toposort(names)
+
+    def _toposort(self, names: list[str]) -> list[str]:
+        remaining = list(names)
+        done: set[str] = set()
+        order: list[str] = []
+        while remaining:
+            ready = [
+                n for n in remaining
+                if all(d in done for d in self._deps[n])
+            ]
+            if not ready:
+                raise StageCycleError(
+                    f"dependency cycle among stages {sorted(remaining)}"
+                )
+            for n in ready:
+                order.append(n)
+                done.add(n)
+                remaining.remove(n)
+        return order
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def order(self) -> list[str]:
+        """Stage names in (deterministic) topological order."""
+        return list(self._order)
+
+    def deps(self, name: str) -> tuple[str, ...]:
+        """The in-graph dependencies of a stage."""
+        return self._deps[name]
+
+    def run(
+        self,
+        jobs: int = 1,
+        run_stage: Callable[[Stage], None] | None = None,
+    ) -> int:
+        """Execute every stage, respecting dependencies.
+
+        ``run_stage(stage)`` wraps each execution (defaults to calling
+        ``stage.fn()``) — the pipeline uses it to add tracer spans and
+        timing around the raw stage body.  Returns the maximum number of
+        stages observed running concurrently (1 for a sequential run).
+
+        With ``jobs>1`` the first stage exception stops further
+        submissions; already-running stages drain, then the exception is
+        re-raised.
+        """
+        call = run_stage or (lambda stage: stage.fn())
+        if not self._stages:
+            return 0
+        if jobs <= 1 or len(self._stages) == 1:
+            for name in self._order:
+                call(self._stages[name])
+            return 1
+
+        lock = threading.Lock()
+        active = 0
+        max_active = 0
+
+        def tracked(stage: Stage) -> None:
+            nonlocal active, max_active
+            with lock:
+                active += 1
+                max_active = max(max_active, active)
+            try:
+                call(stage)
+            finally:
+                with lock:
+                    active -= 1
+
+        done: set[str] = set()
+        submitted: set[str] = set()
+        futures: dict = {}
+        error: BaseException | None = None
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="pipeline"
+        ) as pool:
+            def submit_ready() -> None:
+                for name in self._order:
+                    if name in submitted:
+                        continue
+                    if all(d in done for d in self._deps[name]):
+                        futures[pool.submit(tracked, self._stages[name])] = name
+                        submitted.add(name)
+
+            submit_ready()
+            while futures:
+                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    name = futures.pop(fut)
+                    exc = fut.exception()
+                    if exc is not None and error is None:
+                        error = exc
+                    done.add(name)
+                if error is None:
+                    submit_ready()
+        if error is not None:
+            raise error
+        return max_active

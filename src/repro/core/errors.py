@@ -21,5 +21,10 @@ class ConfigError(DiscoveryError):
     """Invalid configuration values."""
 
 
+class SnapshotError(DiscoveryError):
+    """An index snapshot is missing, corrupt, or does not match the current
+    lake / configuration (stale snapshots are refused, never served)."""
+
+
 class CsvFormatError(DiscoveryError):
     """Malformed CSV input."""

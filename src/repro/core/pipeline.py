@@ -7,24 +7,15 @@ stages by name (useful on very large lakes).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable
 
 from repro.core.config import DiscoveryConfig
-from repro.core.system import DiscoverySystem
+from repro.core.system import STAGES, DiscoverySystem
 from repro.datalake.lake import DataLake
 from repro.datalake.ontology import Ontology
 
-STAGES = (
-    "embeddings",
-    "domains",
-    "annotation",
-    "keyword_index",
-    "join_index",
-    "union_index",
-    "correlation_index",
-    "mate_index",
-    "navigation",
-)
+__all__ = ["STAGES", "pipeline_report", "run_pipeline"]
 
 
 def run_pipeline(
@@ -32,15 +23,21 @@ def run_pipeline(
     config: DiscoveryConfig | None = None,
     ontology: Ontology | None = None,
     skip: set[str] | None = None,
+    jobs: int | None = None,
     progress: Callable[[str, float], None] | None = None,
 ) -> DiscoverySystem:
     """Build a DiscoverySystem, reporting each stage's duration.
 
-    ``skip`` disables stages by name (from STAGES); ``progress(stage,
-    seconds)`` is called after each stage completes.
+    ``skip`` disables stages by name (from STAGES) — every stage,
+    including the index stages; ``jobs`` overrides
+    ``config.build_jobs``; ``progress(stage, seconds)`` is called after
+    each stage completes.  The caller's ``config`` is never mutated: the
+    pipeline works on a copy.
     """
-    config = config or DiscoveryConfig()
-    skip = skip or set()
+    # Copy before touching enable_* flags — mutating the caller's config
+    # object would leak this run's skips into unrelated systems.
+    config = replace(config) if config is not None else DiscoveryConfig()
+    skip = set(skip or ())
     unknown = skip - set(STAGES)
     if unknown:
         raise ValueError(f"unknown stages to skip: {sorted(unknown)}")
@@ -52,7 +49,7 @@ def run_pipeline(
         config.enable_annotation = False
 
     system = DiscoverySystem(lake, config, ontology)
-    system.build()
+    system.build(jobs=jobs, skip=skip)
     if progress is not None:
         for stage, seconds in system.stats.stage_seconds.items():
             progress(stage, seconds)

@@ -1,0 +1,330 @@
+"""Index snapshots: persist a built ``DiscoverySystem`` and reload it
+without re-running any pipeline stage.
+
+On lakes where offline indexing dominates end-to-end cost, rebuilding
+every index on process start is the single largest waste of hardware.  A
+snapshot is a directory with two files:
+
+``manifest.json``
+    Human-readable provenance and compatibility gate: the snapshot format
+    version, a hash of the build-relevant configuration, a fingerprint of
+    the lake contents, a checksum of the payload, and the stages that ran.
+
+``payload.pkl``
+    One pickle of the complete built state — embeddings, annotations,
+    domains, every index, the lake, and the config — dumped together so
+    shared objects (the embedding space referenced by several indexes)
+    stay shared on reload.
+
+``load()`` refuses to serve anything it cannot prove matches: a format
+version this code does not read, a payload whose checksum disagrees with
+the manifest, a lake whose fingerprint changed since ``save()``, or a
+caller config whose build-relevant hash differs.  Every refusal raises
+:class:`~repro.core.errors.SnapshotError` with the reason — a stale
+snapshot must fail loudly, not silently serve wrong results.  Hits and
+misses are recorded in ``METRICS`` (``snapshot.load.hit`` /
+``snapshot.load.miss``).
+
+Runtime-only knobs (``build_jobs``, trace sampling, SLOs) are excluded
+from the config hash: they change how or when a build runs, never what
+the indexes contain, so a snapshot saved by a ``--jobs 8`` build loads
+under any job count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.core.config import DiscoveryConfig
+from repro.core.errors import SnapshotError
+from repro.obs import METRICS, TRACER, get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import DiscoverySystem
+    from repro.datalake.lake import DataLake
+
+log = get_logger("core.snapshot")
+
+#: Bumped whenever the payload layout changes incompatibly.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+PAYLOAD_NAME = "payload.pkl"
+
+#: Config fields that do not affect built index content.
+RUNTIME_ONLY_FIELDS = frozenset(
+    {"build_jobs", "trace_sample_rate", "slow_query_ms", "slos"}
+)
+
+#: DiscoverySystem attributes captured in the payload, in a stable order.
+_STATE_ATTRS = (
+    "space",
+    "encoder",
+    "domains",
+    "annotations",
+    "_keyword",
+    "_joinable",
+    "_tus",
+    "_starmie",
+    "_santos",
+    "_correlated",
+    "_pexeso",
+    "_mate",
+    "_org",
+    "_table_vectors",
+)
+
+
+def config_hash(config: DiscoveryConfig) -> str:
+    """Stable short hash of the build-relevant configuration fields."""
+    payload = {
+        f.name: getattr(config, f.name)
+        for f in fields(config)
+        if f.name not in RUNTIME_ONLY_FIELDS
+    }
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def lake_fingerprint(lake: "DataLake") -> str:
+    """Content fingerprint of a lake: every table name, header, metadata
+    record, and cell value, hashed in sorted-table order."""
+    h = hashlib.sha256()
+    for name in sorted(lake.table_names()):
+        table = lake.table(name)
+        h.update(b"\x00T" + name.encode("utf-8"))
+        meta = getattr(table, "metadata", None)
+        if meta is not None:
+            h.update(b"\x00M" + repr(meta).encode("utf-8"))
+        for col in table.columns:
+            h.update(b"\x00C" + col.name.encode("utf-8"))
+            for value in col.values:
+                h.update(b"\x00v" + str(value).encode("utf-8"))
+    return h.hexdigest()
+
+
+@dataclass
+class SnapshotManifest:
+    """The versioned compatibility record stored beside the payload."""
+
+    format_version: int
+    created_at: str
+    config_hash: str
+    lake_fingerprint: str
+    payload_sha256: str
+    stages: list[str]
+    skipped_stages: list[str]
+    build_jobs: int
+    tables: int
+    columns: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format_version": self.format_version,
+            "created_at": self.created_at,
+            "config_hash": self.config_hash,
+            "lake_fingerprint": self.lake_fingerprint,
+            "payload_sha256": self.payload_sha256,
+            "stages": list(self.stages),
+            "skipped_stages": list(self.skipped_stages),
+            "build_jobs": self.build_jobs,
+            "tables": self.tables,
+            "columns": self.columns,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "SnapshotManifest":
+        try:
+            return cls(
+                format_version=int(d["format_version"]),
+                created_at=str(d["created_at"]),
+                config_hash=str(d["config_hash"]),
+                lake_fingerprint=str(d["lake_fingerprint"]),
+                payload_sha256=str(d["payload_sha256"]),
+                stages=list(d["stages"]),
+                skipped_stages=list(d.get("skipped_stages", [])),
+                build_jobs=int(d.get("build_jobs", 1)),
+                tables=int(d.get("tables", 0)),
+                columns=int(d.get("columns", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed snapshot manifest: {exc}") from exc
+
+
+def read_manifest(directory: str | Path) -> SnapshotManifest:
+    """Read and validate the manifest of a snapshot directory."""
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise SnapshotError(
+            f"no snapshot at {directory!s}: missing {MANIFEST_NAME}"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(
+            f"corrupt snapshot manifest at {path}: {exc}"
+        ) from exc
+    return SnapshotManifest.from_dict(raw)
+
+
+def save_snapshot(
+    system: "DiscoverySystem", directory: str | Path
+) -> SnapshotManifest:
+    """Persist a built system's complete state under ``directory``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, Any] = {
+        "config": system.config,
+        "lake": system.lake,
+        "ontology": system.ontology,
+        "stats": system.stats,
+        "skipped_stages": sorted(system.skipped_stages),
+        "state": {name: getattr(system, name) for name in _STATE_ATTRS},
+    }
+    with TRACER.span("snapshot.save", force=True, dir=str(path)) as sp:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        manifest = SnapshotManifest(
+            format_version=FORMAT_VERSION,
+            created_at=time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            config_hash=config_hash(system.config),
+            lake_fingerprint=lake_fingerprint(system.lake),
+            payload_sha256=hashlib.sha256(blob).hexdigest(),
+            stages=list(system.stats.stage_seconds),
+            skipped_stages=sorted(system.skipped_stages),
+            build_jobs=int(system.provenance.get("build_jobs", 1)),
+            tables=system.stats.tables,
+            columns=system.stats.columns,
+        )
+        (path / PAYLOAD_NAME).write_bytes(blob)
+        (path / MANIFEST_NAME).write_text(
+            json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        sp.set("bytes", len(blob))
+    METRICS.inc("snapshot.saves")
+    METRICS.set_gauge("snapshot.payload_bytes", len(blob))
+    log.info(
+        "saved snapshot to %s (%d bytes, config %s, lake %s)",
+        path,
+        len(blob),
+        manifest.config_hash,
+        manifest.lake_fingerprint[:12],
+    )
+    return manifest
+
+
+def _miss(reason: str) -> SnapshotError:
+    METRICS.inc("snapshot.load.miss")
+    return SnapshotError(reason)
+
+
+def load_snapshot(
+    directory: str | Path,
+    lake: "DataLake | None" = None,
+    config: DiscoveryConfig | None = None,
+    ontology=None,
+) -> "DiscoverySystem":
+    """Reconstruct a built :class:`DiscoverySystem` from a snapshot.
+
+    ``lake`` (optional) is the live lake the caller intends to query: its
+    fingerprint must match the manifest, otherwise the snapshot is stale
+    and refused.  ``config`` (optional) likewise must hash to the saved
+    build config.  With neither given, the snapshot's own lake and config
+    are used verbatim.
+    """
+    from repro.core.system import DiscoverySystem
+
+    path = Path(directory)
+    with TRACER.span("snapshot.load", force=True, dir=str(path)) as sp:
+        try:
+            manifest = read_manifest(path)
+        except SnapshotError as exc:
+            raise _miss(str(exc)) from None
+        if manifest.format_version != FORMAT_VERSION:
+            raise _miss(
+                f"snapshot at {path} has format version "
+                f"{manifest.format_version}; this build reads version "
+                f"{FORMAT_VERSION} — rebuild and re-save the snapshot"
+            )
+        try:
+            blob = (path / PAYLOAD_NAME).read_bytes()
+        except FileNotFoundError:
+            raise _miss(
+                f"snapshot at {path} is incomplete: missing {PAYLOAD_NAME}"
+            ) from None
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest != manifest.payload_sha256:
+            raise _miss(
+                f"snapshot payload at {path} is corrupt: checksum "
+                f"{digest[:12]} does not match manifest "
+                f"{manifest.payload_sha256[:12]}"
+            )
+        if config is not None:
+            want = config_hash(config)
+            if want != manifest.config_hash:
+                raise _miss(
+                    f"snapshot at {path} was built with config "
+                    f"{manifest.config_hash}, requested config hashes to "
+                    f"{want} — rebuild with the new config or drop the "
+                    "overrides"
+                )
+        if lake is not None:
+            fp = lake_fingerprint(lake)
+            if fp != manifest.lake_fingerprint:
+                raise _miss(
+                    f"snapshot at {path} is stale: lake fingerprint "
+                    f"{fp[:12]} does not match saved "
+                    f"{manifest.lake_fingerprint[:12]} — the lake changed "
+                    "since the snapshot was saved; rebuild it"
+                )
+        try:
+            payload = pickle.loads(blob)
+            saved_config: DiscoveryConfig = payload["config"]
+            state = payload["state"]
+        except SnapshotError:
+            raise
+        except Exception as exc:
+            raise _miss(
+                f"snapshot payload at {path} cannot be decoded: {exc}"
+            ) from exc
+
+        system = DiscoverySystem(
+            lake if lake is not None else payload["lake"],
+            saved_config,
+            ontology if ontology is not None else payload["ontology"],
+        )
+        system.stats = payload["stats"]
+        system.skipped_stages = set(payload.get("skipped_stages", ()))
+        for name in _STATE_ATTRS:
+            if name in state:
+                setattr(system, name, state[name])
+        system._built = True
+        system.provenance = {
+            "source": "snapshot",
+            "path": str(path),
+            "created_at": manifest.created_at,
+            "format_version": manifest.format_version,
+            "config_hash": manifest.config_hash,
+            "lake_fingerprint": manifest.lake_fingerprint,
+            "build_jobs": manifest.build_jobs,
+            "stages": list(manifest.stages),
+            "skipped": list(manifest.skipped_stages),
+        }
+        sp.set("bytes", len(blob))
+    METRICS.inc("snapshot.load.hit")
+    log.info(
+        "loaded snapshot from %s (%d tables, %d stages, saved %s)",
+        path,
+        manifest.tables,
+        len(manifest.stages),
+        manifest.created_at,
+    )
+    return system

@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.apps.arda import ArdaAugmenter, AugmentationReport
 from repro.core.config import DiscoveryConfig, PipelineStats
-from repro.core.errors import LakeError
+from repro.core.dag import Stage, StageGraph
+from repro.core.errors import ConfigError, LakeError
 from repro.obs import METRICS, QUERY_LOG, SAMPLER, TRACER, get_logger
 from repro.obs.introspect import IndexStatsReport, deep_sizeof, publish
 from repro.obs.querylog import QueryRecord
@@ -47,6 +48,27 @@ from repro.understanding.domains import DiscoveredDomain, DomainDiscovery
 from repro.understanding.embedding import EmbeddingSpace, train_embeddings
 
 log = get_logger("core.system")
+
+#: Offline pipeline stage names in their canonical (sequential) order.
+STAGES = (
+    "embeddings",
+    "domains",
+    "annotation",
+    "keyword_index",
+    "join_index",
+    "union_index",
+    "correlation_index",
+    "mate_index",
+    "navigation",
+)
+
+#: Stage dependency edges: embeddings feed the union indexes (Starmie,
+#: PEXESO) and navigation; annotation feeds SANTOS inside union_index.
+#: Everything else (keyword / join / correlation / MATE) is independent.
+STAGE_DEPS: dict[str, tuple[str, ...]] = {
+    "union_index": ("embeddings", "annotation"),
+    "navigation": ("embeddings",),
+}
 
 
 class _QueryCapture:
@@ -87,12 +109,7 @@ class DiscoverySystem:
         self.config = (config or DiscoveryConfig()).validate()
         self.ontology = ontology
         self.stats = PipelineStats()
-        # The config is the source of truth for process-wide trace sampling:
-        # rate-limit span retention, but always keep slow/error traces.
-        SAMPLER.configure(
-            rate=self.config.trace_sample_rate,
-            slow_ms=self.config.slow_query_ms,
-        )
+        self._configure_sampler()
 
         # Populated by build():
         self.space: EmbeddingSpace | None = None
@@ -112,43 +129,132 @@ class DiscoverySystem:
         self._org: Organization | None = None
         self._table_vectors: dict[str, np.ndarray] = {}
         self._built = False
+        #: Stages explicitly skipped at build time (build(skip=...)).
+        self.skipped_stages: set[str] = set()
+        #: Where the built state came from: a live build or a snapshot.
+        self.provenance: dict = {}
+
+    def _configure_sampler(self) -> None:
+        """Apply this config's trace-sampling knobs to the process-wide
+        sampler — but only when they differ from the config defaults, so
+        constructing a second system (tests, sidecars) with a default
+        config does not silently clobber an earlier system's sampling."""
+        flds = DiscoveryConfig.__dataclass_fields__
+        cfg_defaults = (
+            flds["trace_sample_rate"].default,
+            flds["slow_query_ms"].default,
+        )
+        wanted = (self.config.trace_sample_rate, self.config.slow_query_ms)
+        if wanted == cfg_defaults:
+            return
+        current = (SAMPLER.rate, SAMPLER.slow_ms)
+        # (1.0, None) is a fresh TraceSampler; anything else was set by
+        # somebody — warn before overwriting a differing configuration.
+        if current not in ((1.0, None), wanted):
+            log.warning(
+                "overwriting non-default trace sampler config "
+                "(rate=%s, slow_ms=%s) with (rate=%s, slow_ms=%s)",
+                current[0],
+                current[1],
+                wanted[0],
+                wanted[1],
+            )
+        SAMPLER.configure(rate=wanted[0], slow_ms=wanted[1])
 
     # -- offline pipeline ------------------------------------------------------------
 
-    def build(self) -> "DiscoverySystem":
-        """Run the offline pipeline: understand, embed, index (Figure 1 left)."""
+    def _stage_graph(self, skip: set[str]) -> StageGraph:
+        """The stage DAG for this build: enabled stages minus ``skip``,
+        wired with the dependencies from :data:`STAGE_DEPS`."""
         cfg = self.config
+        builders = {
+            "embeddings": self._build_embeddings,
+            "domains": self._build_domains,
+            "annotation": self._build_annotations,
+            "keyword_index": self._build_keyword,
+            "join_index": self._build_joinable,
+            "union_index": self._build_union,
+            "correlation_index": self._build_correlated,
+            "mate_index": self._build_mate,
+            "navigation": self._build_navigation,
+        }
+        enabled = {
+            "embeddings": cfg.enable_embeddings,
+            "domains": cfg.enable_domains,
+            "annotation": cfg.enable_annotation and self.ontology is not None,
+        }
+        stages = [
+            Stage(name, builders[name], STAGE_DEPS.get(name, ()))
+            for name in STAGES
+            if name not in skip and enabled.get(name, True)
+        ]
+        return StageGraph(stages)
+
+    def build(
+        self,
+        jobs: int | None = None,
+        skip: set[str] | None = None,
+    ) -> "DiscoverySystem":
+        """Run the offline pipeline: understand, embed, index (Figure 1 left).
+
+        ``jobs`` overrides ``config.build_jobs``: worker threads for the
+        stage DAG (1 = the legacy sequential order; results are identical
+        for any value).  ``skip`` disables stages by name (from
+        :data:`STAGES`); online methods needing a skipped stage raise
+        :class:`LakeError`.
+        """
+        cfg = self.config
+        skip = set(skip or ())
+        unknown = skip - set(STAGES)
+        if unknown:
+            raise ValueError(f"unknown stages to skip: {sorted(unknown)}")
+        self.skipped_stages = skip
+        jobs = cfg.build_jobs if jobs is None else int(jobs)
+        if jobs < 1:
+            raise ConfigError(f"build jobs must be >= 1, got {jobs}")
         lake_stats = self.lake.stats()
         self.stats.tables = lake_stats["tables"]
         self.stats.columns = lake_stats["columns"]
         METRICS.set_gauge("lake.tables", self.stats.tables)
         METRICS.set_gauge("lake.columns", self.stats.columns)
 
+        graph = self._stage_graph(skip)
         with TRACER.span(
             "pipeline.build",
             force=True,
             tables=self.stats.tables,
             columns=self.stats.columns,
+            jobs=jobs,
         ):
-            if cfg.enable_embeddings:
-                self._stage("embeddings", self._build_embeddings)
-            if cfg.enable_domains:
-                self._stage("domains", self._build_domains)
-            if cfg.enable_annotation and self.ontology is not None:
-                self._stage("annotation", self._build_annotations)
-            self._stage("keyword_index", self._build_keyword)
-            self._stage("join_index", self._build_joinable)
-            self._stage("union_index", self._build_union)
-            self._stage("correlation_index", self._build_correlated)
-            self._stage("mate_index", self._build_mate)
-            self._stage("navigation", self._build_navigation)
+            max_concurrent = graph.run(
+                jobs, run_stage=lambda s: self._stage(s.name, s.fn)
+            )
+        # Canonicalize stage timing order: parallel completion order is
+        # nondeterministic, the report should not be.
+        self.stats.stage_seconds = {
+            name: self.stats.stage_seconds[name]
+            for name in STAGES
+            if name in self.stats.stage_seconds
+        }
         METRICS.inc("pipeline.builds")
+        METRICS.set_gauge("pipeline.build_jobs", jobs)
+        METRICS.set_gauge("pipeline.max_concurrent_stages", max_concurrent)
         self._built = True
+        self.provenance = {
+            "source": "build",
+            "build_jobs": jobs,
+            "max_concurrent_stages": max_concurrent,
+            "stages": graph.order(),
+            "skipped": sorted(skip),
+        }
         log.info(
-            "pipeline built: %d tables, %d columns, %d stages in %.1f ms",
+            "pipeline built: %d tables, %d columns, %d stages "
+            "(%d job(s), peak concurrency %d) in %.1f ms",
             self.stats.tables,
             self.stats.columns,
             len(self.stats.stage_seconds),
+            jobs,
+            max_concurrent,
             sum(self.stats.stage_seconds.values()) * 1000,
         )
         return self
@@ -253,6 +359,45 @@ class DiscoverySystem:
                 "DiscoverySystem is not built yet: call build() first"
             )
 
+    def _require_engine(self, obj, stage: str, unavailable: str):
+        """Return a built engine, or raise a clear :class:`LakeError`
+        naming the skipped stage (never an ``AttributeError`` on None)."""
+        if obj is not None:
+            return obj
+        if stage in self.skipped_stages:
+            raise LakeError(
+                f"stage {stage!r} was skipped at build time: {unavailable}"
+            )
+        raise LakeError(f"stage {stage!r} did not run: {unavailable}")
+
+    # -- snapshots ---------------------------------------------------------------------
+
+    def save(self, directory):
+        """Persist the built state (embeddings, annotations, domains, all
+        indexes) as a versioned snapshot directory; returns the
+        :class:`~repro.core.snapshot.SnapshotManifest` written."""
+        self._require_built()
+        from repro.core.snapshot import save_snapshot
+
+        return save_snapshot(self, directory)
+
+    @classmethod
+    def load(
+        cls,
+        directory,
+        lake: DataLake | None = None,
+        config: DiscoveryConfig | None = None,
+        ontology: Ontology | None = None,
+    ) -> "DiscoverySystem":
+        """Reload a system from a snapshot without re-running any pipeline
+        stage.  Raises :class:`~repro.core.errors.SnapshotError` when the
+        snapshot is missing, corrupt, or stale for the given lake/config."""
+        from repro.core.snapshot import load_snapshot
+
+        return load_snapshot(
+            directory, lake=lake, config=config, ontology=ontology
+        )
+
     # -- index introspection ----------------------------------------------------------
 
     def index_stats(self) -> list[IndexStatsReport]:
@@ -274,6 +419,7 @@ class DiscoverySystem:
                     items=items,
                     memory_bytes=deep_sizeof(obj),
                     detail=detail,
+                    provenance=dict(self.provenance),
                 )
             )
 
@@ -405,14 +551,17 @@ class DiscoverySystem:
         With ``explain=True`` returns ``(hits, ExplainReport)``.
         """
         self._require_built()
+        engine = self._require_engine(
+            self._keyword, "keyword_index", "keyword search unavailable"
+        )
         report: ExplainReport | None = None
         with self._query_span(
             "keyword", query_repr=query, query=query, k=k
         ) as q:
             if explain:
-                hits, report = self._keyword.search(query, k, explain=True)
+                hits, report = engine.search(query, k, explain=True)
             else:
-                hits = self._keyword.search(query, k)
+                hits = engine.search(query, k)
             q.finish(hits, report)
         return (hits, report) if explain else hits
 
@@ -430,6 +579,9 @@ class DiscoverySystem:
         With ``explain=True`` returns ``(hits, ExplainReport)``.
         """
         self._require_built()
+        engine = self._require_engine(
+            self._joinable, "join_index", "joinable search unavailable"
+        )
         exclude = None
         query_repr = f"column<{getattr(column, 'name', '?')}>"
         if isinstance(column, ColumnRef):
@@ -442,17 +594,17 @@ class DiscoverySystem:
         ) as q:
             if method == "exact":
                 if explain:
-                    hits, report = self._joinable.exact_topk(
+                    hits, report = engine.exact_topk(
                         column, k, exclude_table=exclude, explain=True
                     )
                 else:
-                    hits = self._joinable.exact_topk(
+                    hits = engine.exact_topk(
                         column, k, exclude_table=exclude
                     )
             elif method == "containment":
                 t = threshold or self.config.containment_threshold
                 if explain:
-                    hits, report = self._joinable.containment(
+                    hits, report = engine.containment(
                         column, t, exclude_table=exclude, explain=True
                     )
                     hits = hits[:k]
@@ -460,7 +612,7 @@ class DiscoverySystem:
                     report.stage("returned", len(hits))
                     report.results = summarize_results(hits)
                 else:
-                    hits = self._joinable.containment(
+                    hits = engine.containment(
                         column, t, exclude_table=exclude
                     )[:k]
             else:
@@ -477,6 +629,11 @@ class DiscoverySystem:
         """
         self._require_built()
         if self._pexeso is None:
+            if "union_index" in self.skipped_stages:
+                raise LakeError(
+                    "stage 'union_index' was skipped at build time: "
+                    "fuzzy join unavailable"
+                )
             raise LakeError("embeddings disabled: fuzzy join unavailable")
         exclude = None
         query_repr = f"column<{getattr(column, 'name', '?')}>"
@@ -507,6 +664,9 @@ class DiscoverySystem:
         With ``explain=True`` returns ``(hits, ExplainReport)``.
         """
         self._require_built()
+        engine = self._require_engine(
+            self._mate, "mate_index", "multi-attribute search unavailable"
+        )
         report: ExplainReport | None = None
         with self._query_span(
             "multi_attribute",
@@ -515,11 +675,11 @@ class DiscoverySystem:
             k=k,
         ) as q:
             if explain:
-                hits, report = self._mate.search(
+                hits, report = engine.search(
                     query, key_columns, k, explain=True
                 )
             else:
-                hits = self._mate.search(query, key_columns, k)
+                hits = engine.search(query, key_columns, k)
             q.finish(hits, report)
         return (hits, report) if explain else hits
 
@@ -542,12 +702,20 @@ class DiscoverySystem:
             "union", query_repr=query.name, method=method, table=query.name, k=k
         ) as q:
             if method == "tus":
+                tus = self._require_engine(
+                    self._tus, "union_index", "TUS unavailable"
+                )
                 if explain:
-                    hits, report = self._tus.search(query, k, explain=True)
+                    hits, report = tus.search(query, k, explain=True)
                 else:
-                    hits = self._tus.search(query, k)
+                    hits = tus.search(query, k)
             elif method == "santos":
                 if self._santos is None:
+                    if "union_index" in self.skipped_stages:
+                        raise LakeError(
+                            "stage 'union_index' was skipped at build "
+                            "time: SANTOS unavailable"
+                        )
                     raise LakeError("no ontology: SANTOS unavailable")
                 hits = self._santos.search(query, k)
                 if explain:
@@ -556,6 +724,11 @@ class DiscoverySystem:
                     report.results = summarize_results(hits)
             elif method == "starmie":
                 if self._starmie is None:
+                    if "union_index" in self.skipped_stages:
+                        raise LakeError(
+                            "stage 'union_index' was skipped at build "
+                            "time: Starmie unavailable"
+                        )
                     raise LakeError("embeddings disabled: Starmie unavailable")
                 if explain:
                     hits, report = self._starmie.search(query, k, explain=True)
@@ -582,6 +755,11 @@ class DiscoverySystem:
         if isinstance(query, str):
             query = self.lake.table(query)
         report: ExplainReport | None = None
+        engine = self._require_engine(
+            self._correlated,
+            "correlation_index",
+            "correlated search unavailable",
+        )
         with self._query_span(
             "correlated",
             query_repr=f"{query.name}[{key_column},{value_column}]",
@@ -589,11 +767,11 @@ class DiscoverySystem:
             k=k,
         ) as q:
             if explain:
-                hits, report = self._correlated.search(
+                hits, report = engine.search(
                     query, key_column, value_column, k, explain=True
                 )
             else:
-                hits = self._correlated.search(
+                hits = engine.search(
                     query, key_column, value_column, k
                 )
             q.finish(hits, report)
@@ -605,6 +783,11 @@ class DiscoverySystem:
         """The lake-wide navigation hierarchy (§2.6)."""
         self._require_built()
         if self._org is None:
+            if "navigation" in self.skipped_stages:
+                raise LakeError(
+                    "stage 'navigation' was skipped at build time: "
+                    "navigation unavailable"
+                )
             raise LakeError("embeddings disabled: navigation unavailable")
         return self._org
 
@@ -613,6 +796,11 @@ class DiscoverySystem:
         tables at the reached node."""
         self._require_built()
         if self._org is None or self.space is None:
+            if "navigation" in self.skipped_stages:
+                raise LakeError(
+                    "stage 'navigation' was skipped at build time: "
+                    "navigation unavailable"
+                )
             raise LakeError("embeddings disabled: navigation unavailable")
         intent = self.space.embed_set(intent_text.lower().split())
         _, tables = self._org.navigate(intent)

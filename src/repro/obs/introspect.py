@@ -97,15 +97,22 @@ class IndexStatsReport:
     items: int  # primary cardinality (sets, nodes, sketches, ...)
     memory_bytes: int
     detail: dict[str, Any] = field(default_factory=dict)
+    #: Where the index came from: a live build (source=build, build_jobs,
+    #: stage list) or a reloaded snapshot (source=snapshot, path,
+    #: created_at, config hash, lake fingerprint).
+    provenance: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "kind": self.kind,
             "items": self.items,
             "memory_bytes": self.memory_bytes,
             "detail": self.detail,
         }
+        if self.provenance:
+            out["provenance"] = self.provenance
+        return out
 
     def render(self) -> str:
         lines = [
@@ -114,6 +121,14 @@ class IndexStatsReport:
         ]
         for key in sorted(self.detail):
             lines.append(f"  {key} = {self.detail[key]}")
+        if self.provenance:
+            src = self.provenance.get("source", "?")
+            rest = ", ".join(
+                f"{k}={v}"
+                for k, v in sorted(self.provenance.items())
+                if k != "source"
+            )
+            lines.append(f"  provenance = {src}" + (f" ({rest})" if rest else ""))
         return "\n".join(lines)
 
 

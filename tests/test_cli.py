@@ -227,3 +227,67 @@ class TestSaveRoundTrip:
         lake.save_to_directory(tmp_path / "out")
         back = DataLake.from_directory(tmp_path / "out")
         assert back.table("t1").rows() == [["x"], ["y"]]
+
+
+class TestBuildAndSnapshotCommands:
+    def test_build_parallel_and_save(self, lake_dir, tmp_path, capsys):
+        directory, _ = lake_dir
+        snap = tmp_path / "snap"
+        rc = main(
+            ["build", str(directory), "--jobs", "4", "--save", str(snap)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 job(s)" in out
+        assert "saved snapshot" in out
+        assert (snap / "manifest.json").exists()
+        assert (snap / "payload.pkl").exists()
+
+    def test_query_load_matches_fresh_build(self, lake_dir, tmp_path, capsys):
+        directory, corpus = lake_dir
+        snap = tmp_path / "snap"
+        assert main(["build", str(directory), "--save", str(snap)]) == 0
+        capsys.readouterr()
+        qname = corpus.groups[0][0]
+        args = [
+            "query", str(directory), "--engine", "union", "--table", qname
+        ]
+        assert main(args) == 0
+        fresh = capsys.readouterr().out
+        assert main(args + ["--load", str(snap)]) == 0
+        loaded = capsys.readouterr().out
+        assert loaded == fresh
+        assert loaded.strip()
+
+    def test_query_load_refuses_stale_snapshot(
+        self, lake_dir, tmp_path, capsys
+    ):
+        directory, corpus = lake_dir
+        snap = tmp_path / "snap"
+        assert main(["build", str(directory), "--save", str(snap)]) == 0
+        capsys.readouterr()
+        stale_dir = tmp_path / "changed_lake"
+        corpus.lake.save_to_directory(stale_dir)
+        (stale_dir / "extra.csv").write_text("a,b\n1,2\n")
+        with pytest.raises(SystemExit, match="stale"):
+            main(
+                [
+                    "query",
+                    str(stale_dir),
+                    "--engine",
+                    "keyword",
+                    "--query",
+                    "x",
+                    "--load",
+                    str(snap),
+                ]
+            )
+
+    def test_build_skip_stage(self, lake_dir, capsys):
+        directory, _ = lake_dir
+        rc = main(
+            ["build", str(directory), "--skip", "mate_index", "--no-embeddings"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mate_index" not in out

@@ -17,9 +17,16 @@ N_ITERS = 200
 
 @pytest.fixture(autouse=True)
 def clean_obs():
+    # DiscoverySystem no longer resets the sampler on every __init__, so
+    # the rate=0.5 configured below would leak into later test modules.
+    was_enabled = obs.TRACER.enabled
+    rate, slow_ms = obs.SAMPLER.rate, obs.SAMPLER.slow_ms
     obs.reset()
     yield
     obs.QUERY_LOG.configure(capacity=1024, sink="")
+    obs.configure_sampling(rate=rate, slow_ms=slow_ms)
+    if not was_enabled:
+        obs.TRACER.disable()
     obs.reset()
 
 

@@ -1,0 +1,119 @@
+"""Parallel offline build: a DAG-scheduled build must be bit-identical to
+the sequential one, for every online engine."""
+
+import pytest
+
+from repro.core.config import DiscoveryConfig
+from repro.core.errors import ConfigError
+from repro.core.system import STAGE_DEPS, STAGES, DiscoverySystem
+from repro.datalake.table import ColumnRef
+from repro.obs import METRICS
+from repro.search.explain import summarize_results
+
+
+def _config():
+    return DiscoveryConfig(
+        embedding_dim=32, enable_domains=True, num_partitions=4
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential(union_corpus):
+    return DiscoverySystem(
+        union_corpus.lake, _config(), ontology=union_corpus.ontology
+    ).build(jobs=1)
+
+
+@pytest.fixture(scope="module")
+def parallel(union_corpus):
+    return DiscoverySystem(
+        union_corpus.lake, _config(), ontology=union_corpus.ontology
+    ).build(jobs=4)
+
+
+def engine_queries(corpus):
+    """One query per online engine, keyed by engine name."""
+    qname = corpus.groups[0][0]
+    table = corpus.lake.table(qname)
+    text_cols = [i for i, _ in table.text_columns()]
+    num_cols = [i for i, _ in table.numeric_columns()]
+    ref = ColumnRef(qname, text_cols[0])
+    cases = {
+        "keyword": lambda s: s.keyword_search("group 0", k=5),
+        "join_exact": lambda s: s.joinable_search(ref, k=5),
+        "join_containment": lambda s: s.joinable_search(
+            ref, k=5, method="containment", threshold=0.2
+        ),
+        "fuzzy_join": lambda s: s.fuzzy_joinable_search(ref, k=5),
+        "multi_attribute": lambda s: s.multi_attribute_search(
+            table, text_cols[:2], k=5
+        ),
+        "union_tus": lambda s: s.unionable_search(qname, k=5, method="tus"),
+        "union_santos": lambda s: s.unionable_search(
+            qname, k=5, method="santos"
+        ),
+        "union_starmie": lambda s: s.unionable_search(
+            qname, k=5, method="starmie"
+        ),
+    }
+    if num_cols:
+        cases["correlated"] = lambda s: s.correlated_search(
+            qname, text_cols[0], num_cols[0], k=5
+        )
+    return cases
+
+
+class TestParity:
+    def test_all_engines_identical(self, sequential, parallel, union_corpus):
+        cases = engine_queries(union_corpus)
+        assert len(cases) >= 8, "expected every engine to be exercised"
+        for name, query in cases.items():
+            seq = summarize_results(query(sequential))
+            par = summarize_results(query(parallel))
+            assert seq == par, f"engine {name} diverged between jobs=1/4"
+
+    def test_navigation_identical(self, sequential, parallel):
+        assert sequential.navigate("concept_000") == parallel.navigate(
+            "concept_000"
+        )
+
+    def test_stage_sets_identical(self, sequential, parallel):
+        assert list(sequential.stats.stage_seconds) == list(
+            parallel.stats.stage_seconds
+        )
+
+    def test_stage_seconds_canonical_order(self, parallel):
+        names = list(parallel.stats.stage_seconds)
+        canonical = [n for n in STAGES if n in names]
+        assert names == canonical
+
+
+class TestBuildKnobs:
+    def test_build_jobs_from_config(self, union_corpus):
+        cfg = DiscoveryConfig(
+            embedding_dim=16, enable_embeddings=False, build_jobs=3
+        )
+        system = DiscoverySystem(union_corpus.lake, cfg).build()
+        assert system.provenance["build_jobs"] == 3
+
+    def test_invalid_jobs_rejected(self, union_corpus):
+        with pytest.raises(ConfigError):
+            DiscoverySystem(union_corpus.lake).build(jobs=0)
+        with pytest.raises(ConfigError):
+            DiscoveryConfig(build_jobs=0).validate()
+
+    def test_concurrency_metrics_recorded(self, parallel):
+        snap = METRICS.snapshot()
+        assert snap["gauges"]["pipeline.build_jobs"] >= 1
+        assert snap["gauges"]["pipeline.max_concurrent_stages"] >= 1
+
+    def test_provenance_recorded(self, parallel):
+        prov = parallel.provenance
+        assert prov["source"] == "build"
+        assert prov["build_jobs"] == 4
+        assert set(prov["stages"]) <= set(STAGES)
+
+    def test_stage_deps_reference_known_stages(self):
+        for stage, deps in STAGE_DEPS.items():
+            assert stage in STAGES
+            assert set(deps) <= set(STAGES)

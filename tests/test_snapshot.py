@@ -1,0 +1,192 @@
+"""Snapshot layer: save/load round-trips, and rejection of stale,
+mismatched, or corrupt snapshots."""
+
+import json
+
+import pytest
+
+from repro.core.config import DiscoveryConfig
+from repro.core.errors import SnapshotError
+from repro.core.snapshot import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    PAYLOAD_NAME,
+    config_hash,
+    lake_fingerprint,
+    read_manifest,
+)
+from repro.core.system import DiscoverySystem
+from repro.datalake.lake import DataLake
+from repro.datalake.table import ColumnRef, Table
+from repro.obs import METRICS
+
+
+def _config():
+    return DiscoveryConfig(embedding_dim=32, num_partitions=4)
+
+
+@pytest.fixture(scope="module")
+def built(union_corpus):
+    return DiscoverySystem(
+        union_corpus.lake, _config(), ontology=union_corpus.ontology
+    ).build()
+
+
+@pytest.fixture(scope="module")
+def snapdir(built, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("snapshot")
+    built.save(directory)
+    return directory
+
+
+def _queries(corpus, system):
+    qname = corpus.groups[0][0]
+    ref = ColumnRef(qname, 0)
+    table = corpus.lake.table(qname)
+    return {
+        "keyword": system.keyword_search("group 0", k=5),
+        "join": system.joinable_search(ref, k=5),
+        "fuzzy": system.fuzzy_joinable_search(ref, k=5),
+        "mate": system.multi_attribute_search(table, [0], k=5),
+        "tus": system.unionable_search(qname, k=5, method="tus"),
+        "santos": system.unionable_search(qname, k=5, method="santos"),
+        "starmie": system.unionable_search(qname, k=5, method="starmie"),
+    }
+
+
+class TestRoundTrip:
+    def test_identical_results_without_rebuilding(
+        self, built, snapdir, union_corpus
+    ):
+        from repro.search.explain import summarize_results
+
+        loaded = DiscoverySystem.load(snapdir)
+        # No pipeline stage ran: the timings are the restored originals.
+        assert loaded.stats.stage_seconds == built.stats.stage_seconds
+        assert loaded.provenance["source"] == "snapshot"
+        want = _queries(union_corpus, built)
+        got = _queries(union_corpus, loaded)
+        for engine in want:
+            assert summarize_results(want[engine]) == summarize_results(
+                got[engine]
+            ), engine
+        assert loaded.navigate("concept_000") == built.navigate("concept_000")
+
+    def test_load_with_matching_lake_and_config(self, snapdir, union_corpus):
+        loaded = DiscoverySystem.load(
+            snapdir, lake=union_corpus.lake, config=_config()
+        )
+        assert loaded.lake is union_corpus.lake
+
+    def test_runtime_only_config_fields_do_not_invalidate(
+        self, snapdir, union_corpus
+    ):
+        cfg = _config()
+        cfg.build_jobs = 8
+        cfg.trace_sample_rate = 0.5
+        loaded = DiscoverySystem.load(snapdir, config=cfg)
+        assert loaded.provenance["source"] == "snapshot"
+
+    def test_manifest_fields(self, snapdir, built):
+        manifest = read_manifest(snapdir)
+        assert manifest.format_version == FORMAT_VERSION
+        assert manifest.config_hash == config_hash(built.config)
+        assert manifest.lake_fingerprint == lake_fingerprint(built.lake)
+        assert manifest.tables == built.stats.tables
+        assert "union_index" in manifest.stages
+
+    def test_hit_metric_recorded(self, snapdir):
+        before = METRICS.snapshot()["counters"].get("snapshot.load.hit", 0)
+        DiscoverySystem.load(snapdir)
+        after = METRICS.snapshot()["counters"]["snapshot.load.hit"]
+        assert after == before + 1
+
+    def test_index_stats_report_snapshot_provenance(self, snapdir):
+        loaded = DiscoverySystem.load(snapdir)
+        reports = loaded.index_stats()
+        assert reports
+        for report in reports:
+            assert report.provenance["source"] == "snapshot"
+            assert "snapshot" in report.render()
+
+
+class TestRejection:
+    def _assert_miss(self, snapdir, **kwargs):
+        before = METRICS.snapshot()["counters"].get("snapshot.load.miss", 0)
+        with pytest.raises(SnapshotError) as err:
+            DiscoverySystem.load(snapdir, **kwargs)
+        after = METRICS.snapshot()["counters"]["snapshot.load.miss"]
+        assert after == before + 1
+        return err.value
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SnapshotError, match="missing"):
+            DiscoverySystem.load(tmp_path / "nope")
+
+    def test_stale_lake_refused(self, snapdir, union_corpus):
+        changed = DataLake(list(union_corpus.lake))
+        changed.add(Table.from_dict("extra", {"x": ["1", "2"]}))
+        err = self._assert_miss(snapdir, lake=changed)
+        assert "stale" in str(err)
+
+    def test_config_mismatch_refused(self, snapdir):
+        err = self._assert_miss(snapdir, config=DiscoveryConfig(num_perm=256))
+        assert "config" in str(err)
+
+    def test_future_format_version_refused(self, built, tmp_path):
+        d = tmp_path / "snap"
+        built.save(d)
+        manifest = json.loads((d / MANIFEST_NAME).read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        (d / MANIFEST_NAME).write_text(json.dumps(manifest))
+        err = self._assert_miss(d)
+        assert "format version" in str(err)
+
+    def test_corrupt_payload_refused(self, built, tmp_path):
+        d = tmp_path / "snap"
+        built.save(d)
+        blob = bytearray((d / PAYLOAD_NAME).read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        (d / PAYLOAD_NAME).write_bytes(bytes(blob))
+        err = self._assert_miss(d)
+        assert "corrupt" in str(err)
+
+    def test_truncated_payload_refused(self, built, tmp_path):
+        d = tmp_path / "snap"
+        built.save(d)
+        blob = (d / PAYLOAD_NAME).read_bytes()
+        (d / PAYLOAD_NAME).write_bytes(blob[: len(blob) // 2])
+        self._assert_miss(d)
+
+    def test_corrupt_manifest_refused(self, built, tmp_path):
+        d = tmp_path / "snap"
+        built.save(d)
+        (d / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(SnapshotError, match="corrupt"):
+            DiscoverySystem.load(d)
+
+    def test_unbuilt_system_cannot_save(self, union_corpus, tmp_path):
+        from repro.core.errors import LakeError
+
+        fresh = DiscoverySystem(union_corpus.lake)
+        with pytest.raises(LakeError):
+            fresh.save(tmp_path / "snap")
+
+
+class TestFingerprints:
+    def test_fingerprint_sensitive_to_values(self):
+        a = DataLake([Table.from_dict("t", {"x": ["1", "2"]})])
+        b = DataLake([Table.from_dict("t", {"x": ["1", "3"]})])
+        assert lake_fingerprint(a) != lake_fingerprint(b)
+
+    def test_fingerprint_stable(self):
+        a = DataLake([Table.from_dict("t", {"x": ["1", "2"]})])
+        b = DataLake([Table.from_dict("t", {"x": ["1", "2"]})])
+        assert lake_fingerprint(a) == lake_fingerprint(b)
+
+    def test_config_hash_ignores_runtime_fields(self):
+        a = DiscoveryConfig()
+        b = DiscoveryConfig(build_jobs=16, trace_sample_rate=0.1)
+        c = DiscoveryConfig(num_perm=256)
+        assert config_hash(a) == config_hash(b)
+        assert config_hash(a) != config_hash(c)
