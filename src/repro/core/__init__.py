@@ -10,11 +10,21 @@ from repro.core.errors import (
     SchemaError,
     SnapshotError,
 )
+from repro.core.engine import (
+    REGISTRY,
+    Engine,
+    EngineContext,
+    EngineRegistry,
+    FederatedHit,
+    QueryRequest,
+    register_engine,
+)
 from repro.core.pipeline import STAGES, pipeline_report, run_pipeline
 from repro.core.snapshot import SnapshotManifest
 from repro.core.system import STAGE_DEPS, DiscoverySystem
 
 __all__ = [
+    "REGISTRY",
     "STAGES",
     "STAGE_DEPS",
     "ConfigError",
@@ -22,7 +32,13 @@ __all__ = [
     "DiscoveryConfig",
     "DiscoveryError",
     "DiscoverySystem",
+    "Engine",
+    "EngineContext",
+    "EngineRegistry",
+    "FederatedHit",
     "LakeError",
+    "QueryRequest",
+    "register_engine",
     "PipelineStats",
     "SchemaError",
     "SnapshotError",

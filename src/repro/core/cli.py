@@ -17,6 +17,7 @@ Usage::
     python -m repro bench-compare old.json new.json [--threshold 0.2]
     python -m repro slo       [--log queries.jsonl | --url http://host:9095]
     python -m repro inspect   <lake_dir> [--json]
+    python -m repro engines   [<lake_dir>] [--json]
     python -m repro top       --url http://host:9095 [--interval 2]
 
 Every command ingests ``lake_dir`` (recursively, all ``*.csv``), runs the
@@ -316,6 +317,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--json", action="store_true", help="print the reports as JSON"
+    )
+    common(p)
+
+    p = sub.add_parser(
+        "engines",
+        help="list the registered discovery engines (stage, dependencies, "
+        "query label, index kind); with a lake, also build it and report "
+        "per-engine built status and item counts",
+    )
+    p.add_argument(
+        "lake_dir",
+        nargs="?",
+        help="optional: build the pipeline on this lake and report which "
+        "engines came up and how many items each indexed",
+    )
+    p.add_argument(
+        "--no-embeddings",
+        action="store_true",
+        help="skip the embedding stage (and the engines that need it)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the listing as JSON"
     )
     common(p)
 
@@ -651,6 +674,45 @@ def _run_inspect(args, out) -> int:
     return 0
 
 
+def _run_engines(args, out) -> int:
+    """The ``engines`` subcommand: the engine registry, optionally
+    enriched with built status and item counts from a live build."""
+    from repro.core.engine import REGISTRY
+
+    rows: list[dict] = []
+    if args.lake_dir:
+        system = _system(
+            args.lake_dir, need_embeddings=not args.no_embeddings
+        )
+        for engine in system.engines.values():
+            row = engine.describe()
+            row["built"] = engine.is_built()
+            row["items"] = (
+                engine.items(engine.stats()) if engine.is_built() else 0
+            )
+            rows.append(row)
+    else:
+        rows = [cls().describe() for cls in REGISTRY.all()]
+    if args.json:
+        print(json.dumps(rows, indent=2), file=out)
+        return 0
+    print(f"{len(rows)} registered engines", file=out)
+    for row in rows:
+        deps = ",".join(row["depends_on"]) or "-"
+        line = (
+            f"{row['name']:<12} stage={row['stage']:<17} "
+            f"label={row['query_label']:<15} kind={row['kind']:<18} "
+            f"deps={deps}"
+        )
+        if "built" in row:
+            line += (
+                f" built={'yes' if row['built'] else 'no':<3}"
+                f" items={row['items']}"
+            )
+        print(line, file=out)
+    return 0
+
+
 def _run_top(args, out) -> int:
     """The ``top`` subcommand: the live terminal dashboard."""
     from repro.obs.top import TopDashboard
@@ -709,6 +771,9 @@ def _run(args, out) -> int:
 
     if args.command == "inspect":
         return _run_inspect(args, out)
+
+    if args.command == "engines":
+        return _run_engines(args, out)
 
     if args.command == "top":
         return _run_top(args, out)

@@ -80,6 +80,18 @@ class DiscoveryConfig:
                 objective.validate()
             except ValueError as exc:
                 raise ConfigError(str(exc)) from exc
+        if self.slos:
+            # Lazy import: the engine registry imports this module.
+            from repro.core.engine import known_query_labels
+
+            labels = known_query_labels()
+            for objective in self.slos:
+                if objective.engine != "*" and objective.engine not in labels:
+                    raise ConfigError(
+                        f"SLO references unknown engine "
+                        f"{objective.engine!r}; known engine labels: "
+                        f"{sorted(labels)} (or '*' for all)"
+                    )
         return self
 
 

@@ -11,10 +11,13 @@ snapshot is a directory with two files:
     the lake contents, a checksum of the payload, and the stages that ran.
 
 ``payload.pkl``
-    One pickle of the complete built state — embeddings, annotations,
-    domains, every index, the lake, and the config — dumped together so
-    shared objects (the embedding space referenced by several indexes)
-    stay shared on reload.
+    One pickle of the complete built state: the lake, the config, and a
+    per-engine payload for every registered engine (plus the foundation
+    stages' shared outputs), each produced by that engine's
+    ``to_payload()``.  Everything is dumped together so shared objects
+    (the embedding space referenced by several indexes, the single
+    ``JoinableSearch`` behind the three join engines) stay shared on
+    reload via pickle's memo.
 
 ``load()`` refuses to serve anything it cannot prove matches: a format
 version this code does not read, a payload whose checksum disagrees with
@@ -52,7 +55,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 log = get_logger("core.snapshot")
 
 #: Bumped whenever the payload layout changes incompatibly.
-FORMAT_VERSION = 1
+#: Version 2: per-engine payloads keyed by registry name (version 1 stored
+#: a fixed attribute list and is refused by this code).
+FORMAT_VERSION = 2
 
 MANIFEST_NAME = "manifest.json"
 PAYLOAD_NAME = "payload.pkl"
@@ -61,25 +66,6 @@ PAYLOAD_NAME = "payload.pkl"
 RUNTIME_ONLY_FIELDS = frozenset(
     {"build_jobs", "trace_sample_rate", "slow_query_ms", "slos"}
 )
-
-#: DiscoverySystem attributes captured in the payload, in a stable order.
-_STATE_ATTRS = (
-    "space",
-    "encoder",
-    "domains",
-    "annotations",
-    "_keyword",
-    "_joinable",
-    "_tus",
-    "_starmie",
-    "_santos",
-    "_correlated",
-    "_pexeso",
-    "_mate",
-    "_org",
-    "_table_vectors",
-)
-
 
 def config_hash(config: DiscoveryConfig) -> str:
     """Stable short hash of the build-relevant configuration fields."""
@@ -123,6 +109,8 @@ class SnapshotManifest:
     build_jobs: int
     tables: int
     columns: int
+    #: Registry names of the engines whose payloads the snapshot holds.
+    engines: list[str]
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -136,6 +124,7 @@ class SnapshotManifest:
             "build_jobs": self.build_jobs,
             "tables": self.tables,
             "columns": self.columns,
+            "engines": list(self.engines),
         }
 
     @classmethod
@@ -152,6 +141,7 @@ class SnapshotManifest:
                 build_jobs=int(d.get("build_jobs", 1)),
                 tables=int(d.get("tables", 0)),
                 columns=int(d.get("columns", 0)),
+                engines=list(d.get("engines", [])),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(f"malformed snapshot manifest: {exc}") from exc
@@ -179,13 +169,25 @@ def save_snapshot(
     """Persist a built system's complete state under ``directory``."""
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
+    # One payload per registered engine (built ones only) plus the
+    # foundation stages' shared outputs; a single pickle dump keeps
+    # structures co-owned by several engines shared on reload.
+    engine_payloads = {
+        name: engine.to_payload()
+        for name, engine in system.engines.items()
+        if engine.is_built()
+    }
     payload: dict[str, Any] = {
         "config": system.config,
         "lake": system.lake,
         "ontology": system.ontology,
         "stats": system.stats,
         "skipped_stages": sorted(system.skipped_stages),
-        "state": {name: getattr(system, name) for name in _STATE_ATTRS},
+        "foundation": {
+            name: foundation.to_payload()
+            for name, foundation in system.foundations.items()
+        },
+        "engines": engine_payloads,
     }
     with TRACER.span("snapshot.save", force=True, dir=str(path)) as sp:
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -202,6 +204,7 @@ def save_snapshot(
             build_jobs=int(system.provenance.get("build_jobs", 1)),
             tables=system.stats.tables,
             columns=system.stats.columns,
+            engines=sorted(engine_payloads),
         )
         (path / PAYLOAD_NAME).write_bytes(blob)
         (path / MANIFEST_NAME).write_text(
@@ -288,7 +291,8 @@ def load_snapshot(
         try:
             payload = pickle.loads(blob)
             saved_config: DiscoveryConfig = payload["config"]
-            state = payload["state"]
+            foundation_payloads = payload["foundation"]
+            engine_payloads = payload["engines"]
         except SnapshotError:
             raise
         except Exception as exc:
@@ -303,9 +307,26 @@ def load_snapshot(
         )
         system.stats = payload["stats"]
         system.skipped_stages = set(payload.get("skipped_stages", ()))
-        for name in _STATE_ATTRS:
-            if name in state:
-                setattr(system, name, state[name])
+        for name, state in foundation_payloads.items():
+            foundation = system.foundations.get(name)
+            if foundation is None:
+                log.warning(
+                    "snapshot holds unknown foundation stage %r; skipping",
+                    name,
+                )
+                continue
+            foundation.from_payload(state, system.engine_context)
+        for name, state in engine_payloads.items():
+            engine = system.engines.get(name)
+            if engine is None:
+                log.warning(
+                    "snapshot holds payload for unknown engine %r "
+                    "(saved by a build with more engines registered); "
+                    "skipping it",
+                    name,
+                )
+                continue
+            engine.from_payload(state, system.engine_context)
         system._built = True
         system.provenance = {
             "source": "snapshot",
@@ -317,6 +338,7 @@ def load_snapshot(
             "build_jobs": manifest.build_jobs,
             "stages": list(manifest.stages),
             "skipped": list(manifest.skipped_stages),
+            "engines": list(manifest.engines),
         }
         sp.set("bytes", len(blob))
     METRICS.inc("snapshot.load.hit")

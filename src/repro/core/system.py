@@ -6,10 +6,20 @@ Understanding components (annotation, domain discovery, embeddings,
 indexing), which in turn power the Table Search Engine (keyword, joinable,
 unionable), Navigation Support, and Data Science / Application Support.
 
+Every search method lives behind the :mod:`repro.core.engine` protocol:
+the offline stage DAG, the per-engine snapshot payloads, the
+``index_stats()`` introspection, and the ``repro engines`` listing are all
+derived from the :data:`~repro.core.engine.REGISTRY` rather than wired by
+hand.  The classic ``keyword_search`` / ``joinable_search`` / ... methods
+remain as thin facade shims with their historical signatures and results;
+:meth:`DiscoverySystem.search` is the registry-native federated entry
+point that fans one request across engines and merges the rankings.
+
 Offline: ``build()`` runs the understanding + indexing pipeline.
 Online: ``keyword_search``, ``joinable_search``, ``unionable_search``,
 ``correlated_search``, ``fuzzy_joinable_search``, ``multi_attribute_search``,
-``navigate`` / ``organization``, ``related_columns``, ``augment_for_ml``.
+``search`` (federated), ``navigate`` / ``organization``,
+``related_columns``, ``augment_for_ml``.
 """
 
 from __future__ import annotations
@@ -17,12 +27,19 @@ from __future__ import annotations
 import time
 import tracemalloc
 from contextlib import contextmanager
+from dataclasses import replace
 
-import numpy as np
-
+import repro.engines  # noqa: F401  - populate the engine registry
 from repro.apps.arda import ArdaAugmenter, AugmentationReport
 from repro.core.config import DiscoveryConfig, PipelineStats
 from repro.core.dag import Stage, StageGraph
+from repro.core.engine import (
+    FEDERATED_LABEL,
+    REGISTRY,
+    EngineContext,
+    FederatedHit,
+    QueryRequest,
+)
 from repro.core.errors import ConfigError, LakeError
 from repro.obs import METRICS, QUERY_LOG, SAMPLER, TRACER, get_logger
 from repro.obs.introspect import IndexStatsReport, deep_sizeof, publish
@@ -33,42 +50,22 @@ from repro.datalake.table import Column, ColumnRef, Table
 from repro.graph.aurum import EnterpriseKnowledgeGraph
 from repro.graph.organize import Organization
 from repro.graph.ronin import RoninExplorer
-from repro.search.correlated import CorrelatedSearch
 from repro.search.explain import ExplainReport, summarize_results
-from repro.search.joinable import JoinableSearch, JoinSearchConfig
-from repro.search.keyword import KeywordSearchEngine
-from repro.search.mate import MateIndex
-from repro.search.pexeso import PexesoIndex
-from repro.search.union_santos import SantosUnionSearch
-from repro.search.union_starmie import StarmieConfig, StarmieUnionSearch
-from repro.search.union_tus import TableUnionSearch, TusConfig
-from repro.understanding.annotate import OntologyAnnotator, TableAnnotation
-from repro.understanding.contextual import ContextualColumnEncoder
-from repro.understanding.domains import DiscoveredDomain, DomainDiscovery
-from repro.understanding.embedding import EmbeddingSpace, train_embeddings
 
 log = get_logger("core.system")
 
-#: Offline pipeline stage names in their canonical (sequential) order.
-STAGES = (
-    "embeddings",
-    "domains",
-    "annotation",
-    "keyword_index",
-    "join_index",
-    "union_index",
-    "correlation_index",
-    "mate_index",
-    "navigation",
-)
+#: Offline pipeline stage names in their canonical (sequential) order —
+#: derived from the engine registry, no longer a hand-maintained literal.
+STAGES: tuple[str, ...] = REGISTRY.stage_names()
 
-#: Stage dependency edges: embeddings feed the union indexes (Starmie,
-#: PEXESO) and navigation; annotation feeds SANTOS inside union_index.
-#: Everything else (keyword / join / correlation / MATE) is independent.
-STAGE_DEPS: dict[str, tuple[str, ...]] = {
-    "union_index": ("embeddings", "annotation"),
-    "navigation": ("embeddings",),
-}
+#: Stage dependency edges, derived as the union of each stage's member
+#: engines' ``depends_on`` declarations (embeddings feed the union indexes
+#: and navigation; annotation feeds SANTOS inside union_index).
+STAGE_DEPS: dict[str, tuple[str, ...]] = REGISTRY.stage_deps()
+
+#: Reciprocal-rank-fusion constant for federated result merging (the
+#: standard k=60 from the Cormack/Clarke/Buettcher RRF paper).
+RRF_K = 60
 
 
 class _QueryCapture:
@@ -96,6 +93,17 @@ class _QueryCapture:
             self.funnel = report.counts()
 
 
+def _hit_table(hit) -> str:
+    """Table-level identity of any engine's hit type (for federation)."""
+    table = getattr(hit, "table", None)
+    if table is not None:
+        return str(table)
+    ref = getattr(hit, "ref", None)
+    if ref is not None:
+        return str(ref.table)
+    return str(hit)
+
+
 class DiscoverySystem:
     """End-to-end table discovery over a data lake (Figure 1)."""
 
@@ -111,28 +119,70 @@ class DiscoverySystem:
         self.stats = PipelineStats()
         self._configure_sampler()
 
-        # Populated by build():
-        self.space: EmbeddingSpace | None = None
-        self.encoder: ContextualColumnEncoder | None = None
-        self.domains: list[DiscoveredDomain] = []
-        self.annotations: dict[str, TableAnnotation] = {}
-        self._keyword: KeywordSearchEngine | None = None
-        self._joinable: JoinableSearch | None = None
-        self._tus: TableUnionSearch | None = None
-        self._starmie: StarmieUnionSearch | None = None
-        self._santos: SantosUnionSearch | None = None
-        self._correlated: CorrelatedSearch | None = None
-        self._pexeso: PexesoIndex | None = None
-        self._mate: MateIndex | None = None
+        # Understanding outputs shared across engines (populated by the
+        # foundation stages):
+        self.space = None
+        self.encoder = None
+        self.domains: list = []
+        self.annotations: dict = {}
+
+        # Engine instances: one fresh adapter per registered engine, plus
+        # the foundation (understanding) stages, all sharing one context.
+        self.engine_context = EngineContext(self)
+        self.engines = REGISTRY.create()
+        self.foundations = REGISTRY.create_foundations()
+        for adapter in (*self.foundations.values(), *self.engines.values()):
+            adapter.ctx = self.engine_context
+
         self._ekg: EnterpriseKnowledgeGraph | None = None
         self._infogather = None  # built lazily by augment_entities
-        self._org: Organization | None = None
-        self._table_vectors: dict[str, np.ndarray] = {}
         self._built = False
         #: Stages explicitly skipped at build time (build(skip=...)).
         self.skipped_stages: set[str] = set()
         #: Where the built state came from: a live build or a snapshot.
         self.provenance: dict = {}
+
+    # -- legacy views over the engine adapters (facade back-compat) -----------------
+
+    @property
+    def _keyword(self):
+        return self.engines["keyword"].raw
+
+    @property
+    def _joinable(self):
+        return self.engines["josie"].raw
+
+    @property
+    def _tus(self):
+        return self.engines["tus"].raw
+
+    @property
+    def _starmie(self):
+        return self.engines["starmie"].raw
+
+    @property
+    def _santos(self):
+        return self.engines["santos"].raw
+
+    @property
+    def _correlated(self):
+        return self.engines["qcr"].raw
+
+    @property
+    def _pexeso(self):
+        return self.engines["pexeso"].raw
+
+    @property
+    def _mate(self):
+        return self.engines["mate"].raw
+
+    @property
+    def _org(self):
+        return self.engines["organization"].organization
+
+    @property
+    def _table_vectors(self) -> dict:
+        return self.engines["organization"].table_vectors
 
     def _configure_sampler(self) -> None:
         """Apply this config's trace-sampling knobs to the process-wide
@@ -163,28 +213,35 @@ class DiscoverySystem:
 
     # -- offline pipeline ------------------------------------------------------------
 
-    def _stage_graph(self, skip: set[str]) -> StageGraph:
-        """The stage DAG for this build: enabled stages minus ``skip``,
-        wired with the dependencies from :data:`STAGE_DEPS`."""
+    def _stage_enabled(self) -> dict[str, bool]:
+        """Config gates for the foundation stages (index stages are gated
+        only by ``skip`` — their engines self-disable when inputs are
+        missing, exactly as the hand-wired stages did)."""
         cfg = self.config
-        builders = {
-            "embeddings": self._build_embeddings,
-            "domains": self._build_domains,
-            "annotation": self._build_annotations,
-            "keyword_index": self._build_keyword,
-            "join_index": self._build_joinable,
-            "union_index": self._build_union,
-            "correlation_index": self._build_correlated,
-            "mate_index": self._build_mate,
-            "navigation": self._build_navigation,
-        }
-        enabled = {
+        return {
             "embeddings": cfg.enable_embeddings,
             "domains": cfg.enable_domains,
             "annotation": cfg.enable_annotation and self.ontology is not None,
         }
+
+    def _stage_graph(self, skip: set[str]) -> StageGraph:
+        """The stage DAG for this build, derived from the engine registry:
+        enabled stages minus ``skip``, each stage running its member
+        engines' ``build(ctx)`` in registration order."""
+        members = REGISTRY.by_stage(
+            {**self.foundations, **self.engines}
+        )
+        enabled = self._stage_enabled()
+
+        def stage_fn(engines):
+            def run() -> None:
+                for engine in engines:
+                    engine.build(self.engine_context)
+
+            return run
+
         stages = [
-            Stage(name, builders[name], STAGE_DEPS.get(name, ()))
+            Stage(name, stage_fn(members[name]), STAGE_DEPS.get(name, ()))
             for name in STAGES
             if name not in skip and enabled.get(name, True)
         ]
@@ -218,6 +275,7 @@ class DiscoverySystem:
         METRICS.set_gauge("lake.tables", self.stats.tables)
         METRICS.set_gauge("lake.columns", self.stats.columns)
 
+        self.engine_context.reset_shared()
         graph = self._stage_graph(skip)
         with TRACER.span(
             "pipeline.build",
@@ -268,91 +326,6 @@ class DiscoverySystem:
         METRICS.set_gauge(f"pipeline.stage_seconds.{name}", sp.duration_s)
         log.debug("stage %s finished in %.1f ms", name, sp.duration_s * 1000)
 
-    def _build_embeddings(self) -> None:
-        cfg = self.config
-        self.space = train_embeddings(
-            self.lake,
-            dim=cfg.embedding_dim,
-            min_count=cfg.embedding_min_count,
-            seed=cfg.seed,
-        )
-        self.stats.vocabulary = len(self.space.vocab)
-        METRICS.set_gauge("embedding.vocabulary", self.stats.vocabulary)
-        self.encoder = ContextualColumnEncoder(
-            self.space, context_weight=cfg.context_weight
-        )
-
-    def _build_domains(self) -> None:
-        self.domains = DomainDiscovery().discover(self.lake)
-        self.stats.domains_found = len(self.domains)
-
-    def _build_annotations(self) -> None:
-        annotator = OntologyAnnotator(self.ontology)
-        for table in self.lake:
-            self.annotations[table.name] = annotator.annotate(table)
-
-    def _build_keyword(self) -> None:
-        self._keyword = KeywordSearchEngine()
-        self._keyword.index_lake(self.lake)
-
-    def _build_joinable(self) -> None:
-        cfg = self.config
-        self._joinable = JoinableSearch(
-            self.lake,
-            JoinSearchConfig(
-                num_perm=cfg.num_perm, num_partitions=cfg.num_partitions
-            ),
-        ).build()
-
-    def _build_union(self) -> None:
-        cfg = self.config
-        self._tus = TableUnionSearch(
-            self.lake,
-            ontology=self.ontology,
-            space=self.space,
-            config=TusConfig(measure=cfg.union_measure, num_perm=cfg.num_perm),
-        ).build()
-        if self.encoder is not None:
-            self._starmie = StarmieUnionSearch(
-                self.lake,
-                self.encoder,
-                StarmieConfig(
-                    index=cfg.union_index,
-                    hnsw_m=cfg.hnsw_m,
-                    ef_search=cfg.ef_search,
-                ),
-            ).build()
-            if self.space is not None:
-                self._pexeso = PexesoIndex(self.space).build(self.lake)
-        if self.ontology is not None:
-            self._santos = SantosUnionSearch(self.lake, self.ontology).build()
-
-    def _build_correlated(self) -> None:
-        self._correlated = CorrelatedSearch(
-            sketch_size=self.config.qcr_sketch_size
-        ).build(self.lake)
-
-    def _build_mate(self) -> None:
-        self._mate = MateIndex()
-        self._mate.index_lake(self.lake)
-
-    def _build_navigation(self) -> None:
-        if self.space is None:
-            return
-        for table in self.lake:
-            values = [
-                v
-                for _, col in table.text_columns()
-                for v in col.non_null_values()[:50]
-            ]
-            self._table_vectors[table.name] = self.space.embed_set(values)
-        if self._table_vectors:
-            self._org = Organization.build(
-                self._table_vectors,
-                branching=self.config.org_branching,
-                max_leaf_size=self.config.org_max_leaf,
-            )
-
     def _require_built(self) -> None:
         if not self._built:
             raise LakeError(
@@ -373,8 +346,8 @@ class DiscoverySystem:
     # -- snapshots ---------------------------------------------------------------------
 
     def save(self, directory):
-        """Persist the built state (embeddings, annotations, domains, all
-        indexes) as a versioned snapshot directory; returns the
+        """Persist the built state (foundations plus every engine's
+        payload) as a versioned snapshot directory; returns the
         :class:`~repro.core.snapshot.SnapshotManifest` written."""
         self._require_built()
         from repro.core.snapshot import save_snapshot
@@ -401,8 +374,9 @@ class DiscoverySystem:
     # -- index introspection ----------------------------------------------------------
 
     def index_stats(self) -> list[IndexStatsReport]:
-        """Introspect every built index: structural stats from each engine's
-        ``stats()`` hook plus an estimated memory footprint.
+        """Introspect every built engine in the registry: structural stats
+        from the adapter's public ``stats()`` hook plus an estimated
+        memory footprint.
 
         Reports are published process-wide (``/indexstats`` route) and
         surfaced as ``index.<name>.{items,memory_bytes}`` gauges so a
@@ -410,77 +384,19 @@ class DiscoverySystem:
         """
         self._require_built()
         reports: list[IndexStatsReport] = []
-
-        def add(name: str, kind: str, obj, items: int, detail: dict) -> None:
+        for engine in self.engines.values():
+            if not engine.is_built():
+                continue
+            detail = engine.stats()
             reports.append(
                 IndexStatsReport(
-                    name=name,
-                    kind=kind,
-                    items=items,
-                    memory_bytes=deep_sizeof(obj),
+                    name=engine.name,
+                    kind=engine.kind_of(),
+                    items=engine.items(detail),
+                    memory_bytes=deep_sizeof(engine.memory_object()),
                     detail=detail,
                     provenance=dict(self.provenance),
                 )
-            )
-
-        if self._keyword is not None:
-            d = self._keyword.stats()
-            add("keyword", "bm25", self._keyword, d["documents"], d)
-        if self._joinable is not None:
-            d = self._joinable._josie.stats()
-            add("josie", "inverted+sets", self._joinable._josie, d["sets"], d)
-            d = self._joinable._ensemble.stats()
-            add(
-                "lshensemble",
-                "partitioned-lsh",
-                self._joinable._ensemble,
-                d["keys"],
-                d,
-            )
-            d = self._joinable._jaccard_lsh.stats()
-            add(
-                "jaccard_lsh",
-                "banded-lsh",
-                self._joinable._jaccard_lsh,
-                d["keys"],
-                d,
-            )
-        if self._tus is not None:
-            d = self._tus.stats()
-            add("tus", "minhash+lsh", self._tus, d["minhashes"], d)
-        if self._starmie is not None:
-            d = self._starmie.stats()
-            add(
-                "starmie",
-                f"embeddings+{self.config.union_index}",
-                self._starmie,
-                d["columns"],
-                d,
-            )
-        if self._santos is not None:
-            add(
-                "santos",
-                "semantic-graph",
-                self._santos,
-                self.stats.tables,
-                {"tables": self.stats.tables},
-            )
-        if self._pexeso is not None:
-            d = self._pexeso.stats()
-            add("pexeso", "vector-block", self._pexeso, d["columns"], d)
-        if self._mate is not None:
-            d = self._mate.stats()
-            add("mate", "super-key", self._mate, d["rows"], d)
-        if self._correlated is not None:
-            d = self._correlated.stats()
-            add("qcr", "correlation-sketch", self._correlated, d["sketches"], d)
-        if self._org is not None:
-            add(
-                "organization",
-                "navigation-tree",
-                self._org,
-                len(self._table_vectors),
-                {"tables": len(self._table_vectors)},
             )
 
         for r in reports:
@@ -551,17 +467,16 @@ class DiscoverySystem:
         With ``explain=True`` returns ``(hits, ExplainReport)``.
         """
         self._require_built()
-        engine = self._require_engine(
-            self._keyword, "keyword_index", "keyword search unavailable"
+        engine = self.engines["keyword"]
+        self._require_engine(
+            engine.raw, "keyword_index", "keyword search unavailable"
         )
-        report: ExplainReport | None = None
         with self._query_span(
-            "keyword", query_repr=query, query=query, k=k
+            engine.query_label, query_repr=query, query=query, k=k
         ) as q:
-            if explain:
-                hits, report = engine.search(query, k, explain=True)
-            else:
-                hits = engine.search(query, k)
+            hits, report = engine.query(
+                QueryRequest(text=query, k=k, explain=explain)
+            )
             q.finish(hits, report)
         return (hits, report) if explain else hits
 
@@ -579,8 +494,10 @@ class DiscoverySystem:
         With ``explain=True`` returns ``(hits, ExplainReport)``.
         """
         self._require_built()
-        engine = self._require_engine(
-            self._joinable, "join_index", "joinable search unavailable"
+        self._require_engine(
+            self.engines["josie"].raw,
+            "join_index",
+            "joinable search unavailable",
         )
         exclude = None
         query_repr = f"column<{getattr(column, 'name', '?')}>"
@@ -588,35 +505,24 @@ class DiscoverySystem:
             exclude = column.table
             query_repr = str(column)
             column = self.lake.column(column)
-        report: ExplainReport | None = None
         with self._query_span(
             "join", query_repr=query_repr, method=method, k=k
         ) as q:
             if method == "exact":
-                if explain:
-                    hits, report = engine.exact_topk(
-                        column, k, exclude_table=exclude, explain=True
-                    )
-                else:
-                    hits = engine.exact_topk(
-                        column, k, exclude_table=exclude
-                    )
+                engine = self.engines["josie"]
             elif method == "containment":
-                t = threshold or self.config.containment_threshold
-                if explain:
-                    hits, report = engine.containment(
-                        column, t, exclude_table=exclude, explain=True
-                    )
-                    hits = hits[:k]
-                    report.k = k
-                    report.stage("returned", len(hits))
-                    report.results = summarize_results(hits)
-                else:
-                    hits = engine.containment(
-                        column, t, exclude_table=exclude
-                    )[:k]
+                engine = self.engines["lshensemble"]
             else:
                 raise ValueError(f"unknown join method {method!r}")
+            hits, report = engine.query(
+                QueryRequest(
+                    column=column,
+                    k=k,
+                    exclude_table=exclude,
+                    threshold=threshold,
+                    explain=explain,
+                )
+            )
             q.finish(hits, report)
         return (hits, report) if explain else hits
 
@@ -628,7 +534,8 @@ class DiscoverySystem:
         With ``explain=True`` returns ``(hits, ExplainReport)``.
         """
         self._require_built()
-        if self._pexeso is None:
+        engine = self.engines["pexeso"]
+        if not engine.is_built():
             if "union_index" in self.skipped_stages:
                 raise LakeError(
                     "stage 'union_index' was skipped at build time: "
@@ -641,14 +548,14 @@ class DiscoverySystem:
             exclude = column.table
             query_repr = str(column)
             column = self.lake.column(column)
-        report: ExplainReport | None = None
-        with self._query_span("fuzzy_join", query_repr=query_repr, k=k) as q:
-            if explain:
-                hits, report = self._pexeso.search(
-                    column, k, exclude_table=exclude, explain=True
+        with self._query_span(
+            engine.query_label, query_repr=query_repr, k=k
+        ) as q:
+            hits, report = engine.query(
+                QueryRequest(
+                    column=column, k=k, exclude_table=exclude, explain=explain
                 )
-            else:
-                hits = self._pexeso.search(column, k, exclude_table=exclude)
+            )
             q.finish(hits, report)
         return (hits, report) if explain else hits
 
@@ -664,22 +571,24 @@ class DiscoverySystem:
         With ``explain=True`` returns ``(hits, ExplainReport)``.
         """
         self._require_built()
-        engine = self._require_engine(
-            self._mate, "mate_index", "multi-attribute search unavailable"
+        engine = self.engines["mate"]
+        self._require_engine(
+            engine.raw, "mate_index", "multi-attribute search unavailable"
         )
-        report: ExplainReport | None = None
         with self._query_span(
-            "multi_attribute",
+            engine.query_label,
             query_repr=f"{query.name}{key_columns}",
             key_columns=tuple(key_columns),
             k=k,
         ) as q:
-            if explain:
-                hits, report = engine.search(
-                    query, key_columns, k, explain=True
+            hits, report = engine.query(
+                QueryRequest(
+                    table=query,
+                    key_columns=tuple(key_columns),
+                    k=k,
+                    explain=explain,
                 )
-            else:
-                hits = engine.search(query, key_columns, k)
+            )
             q.finish(hits, report)
         return (hits, report) if explain else hits
 
@@ -697,45 +606,39 @@ class DiscoverySystem:
         self._require_built()
         if isinstance(query, str):
             query = self.lake.table(query)
-        report: ExplainReport | None = None
         with self._query_span(
             "union", query_repr=query.name, method=method, table=query.name, k=k
         ) as q:
             if method == "tus":
-                tus = self._require_engine(
-                    self._tus, "union_index", "TUS unavailable"
+                engine = self.engines["tus"]
+                self._require_engine(
+                    engine.raw, "union_index", "TUS unavailable"
                 )
-                if explain:
-                    hits, report = tus.search(query, k, explain=True)
-                else:
-                    hits = tus.search(query, k)
             elif method == "santos":
-                if self._santos is None:
+                engine = self.engines["santos"]
+                if not engine.is_built():
                     if "union_index" in self.skipped_stages:
                         raise LakeError(
                             "stage 'union_index' was skipped at build "
                             "time: SANTOS unavailable"
                         )
                     raise LakeError("no ontology: SANTOS unavailable")
-                hits = self._santos.search(query, k)
-                if explain:
-                    report = ExplainReport("santos", query=query.name, k=k)
-                    report.stage("returned", len(hits))
-                    report.results = summarize_results(hits)
             elif method == "starmie":
-                if self._starmie is None:
+                engine = self.engines["starmie"]
+                if not engine.is_built():
                     if "union_index" in self.skipped_stages:
                         raise LakeError(
                             "stage 'union_index' was skipped at build "
                             "time: Starmie unavailable"
                         )
-                    raise LakeError("embeddings disabled: Starmie unavailable")
-                if explain:
-                    hits, report = self._starmie.search(query, k, explain=True)
-                else:
-                    hits = self._starmie.search(query, k)
+                    raise LakeError(
+                        "embeddings disabled: Starmie unavailable"
+                    )
             else:
                 raise ValueError(f"unknown union method {method!r}")
+            hits, report = engine.query(
+                QueryRequest(table=query, k=k, explain=explain)
+            )
             q.finish(hits, report)
         return (hits, report) if explain else hits
 
@@ -754,28 +657,117 @@ class DiscoverySystem:
         self._require_built()
         if isinstance(query, str):
             query = self.lake.table(query)
-        report: ExplainReport | None = None
-        engine = self._require_engine(
-            self._correlated,
+        engine = self.engines["qcr"]
+        self._require_engine(
+            engine.raw,
             "correlation_index",
             "correlated search unavailable",
         )
         with self._query_span(
-            "correlated",
+            engine.query_label,
             query_repr=f"{query.name}[{key_column},{value_column}]",
             table=query.name,
             k=k,
         ) as q:
-            if explain:
-                hits, report = engine.search(
-                    query, key_column, value_column, k, explain=True
+            hits, report = engine.query(
+                QueryRequest(
+                    table=query,
+                    key_column=key_column,
+                    value_column=value_column,
+                    k=k,
+                    explain=explain,
                 )
-            else:
-                hits = engine.search(
-                    query, key_column, value_column, k
-                )
+            )
             q.finish(hits, report)
         return (hits, report) if explain else hits
+
+    # -- online: federated dispatch ----------------------------------------------------
+
+    def _federated_request(self, query, k: int) -> QueryRequest:
+        """Normalize a free-form query (keyword text, table name,
+        :class:`Table`, :class:`Column`, or :class:`ColumnRef`) into one
+        :class:`QueryRequest` each engine can inspect."""
+        text = table = column = exclude = None
+        if isinstance(query, str):
+            text = query
+            if query in self.lake.table_names():
+                table = self.lake.table(query)
+                exclude = query
+        elif isinstance(query, Table):
+            table = query
+            exclude = query.name
+        elif isinstance(query, ColumnRef):
+            column = self.lake.column(query)
+            table = self.lake.table(query.table)
+            exclude = query.table
+        elif isinstance(query, Column):
+            column = query
+        else:
+            raise ValueError(
+                "federated query must be a string, Table, Column, or "
+                f"ColumnRef, not {type(query).__name__}"
+            )
+        return QueryRequest(
+            k=k, text=text, table=table, column=column, exclude_table=exclude
+        )
+
+    def search(
+        self,
+        query,
+        engines: list[str] | None = None,
+        k: int = 10,
+    ) -> list[FederatedHit]:
+        """Federated table search: fan one request out across registered
+        engines and merge the rankings with reciprocal-rank fusion.
+
+        ``query`` may be keyword text, a table name / :class:`Table`
+        (union-style engines), or a :class:`Column` / :class:`ColumnRef`
+        (join-style engines); every built engine whose
+        :meth:`~repro.core.engine.Engine.accepts` matches participates.
+        ``engines`` restricts the fan-out to specific registry names.
+        Returns :class:`FederatedHit` rows — table, fused score, and the
+        per-engine ranks that produced it — best first.
+        """
+        self._require_built()
+        if engines is None:
+            selected = [
+                e for e in self.engines.values() if e.category == "search"
+            ]
+        else:
+            unknown = [n for n in engines if n not in self.engines]
+            if unknown:
+                raise ValueError(
+                    f"unknown engines {sorted(unknown)}; registered: "
+                    f"{sorted(self.engines)}"
+                )
+            selected = [self.engines[n] for n in engines]
+        request = self._federated_request(query, k)
+        scores: dict[str, float] = {}
+        sources: dict[str, dict[str, int]] = {}
+        with self._query_span(
+            FEDERATED_LABEL, query_repr=str(query), k=k
+        ) as q:
+            asked = 0
+            for engine in selected:
+                if not engine.is_built() or not engine.accepts(request):
+                    continue
+                asked += 1
+                with TRACER.span(f"federated.{engine.name}"):
+                    hits, _ = engine.query(replace(request, explain=False))
+                for rank, hit in enumerate(hits, 1):
+                    table = _hit_table(hit)
+                    if table == request.exclude_table:
+                        continue
+                    scores[table] = scores.get(table, 0.0) + 1.0 / (
+                        RRF_K + rank
+                    )
+                    sources.setdefault(table, {})[engine.name] = rank
+            q.set("engines_asked", asked)
+            merged = sorted(
+                FederatedHit(t, scores[t], sources[t]) for t in scores
+            )[:k]
+            q.finish(merged)
+        return merged
 
     # -- online: navigation -------------------------------------------------------------
 
@@ -795,15 +787,15 @@ class DiscoverySystem:
         """Navigate the organization toward free-text intent; returns the
         tables at the reached node."""
         self._require_built()
-        if self._org is None or self.space is None:
+        engine = self.engines["organization"]
+        if not engine.is_built() or self.space is None:
             if "navigation" in self.skipped_stages:
                 raise LakeError(
                     "stage 'navigation' was skipped at build time: "
                     "navigation unavailable"
                 )
             raise LakeError("embeddings disabled: navigation unavailable")
-        intent = self.space.embed_set(intent_text.lower().split())
-        _, tables = self._org.navigate(intent)
+        tables, _ = engine.query(QueryRequest(text=intent_text))
         return tables
 
     def explore_results(self, tables: list[str]) -> Organization:

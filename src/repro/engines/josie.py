@@ -1,0 +1,38 @@
+"""JOSIE exact top-k overlap search behind the engine protocol (§2.4)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.engine import QueryRequest, register_engine
+from repro.engines.join_base import JoinIndexEngine
+
+
+@register_engine
+class JosieEngine(JoinIndexEngine):
+    """Exact top-k joinable columns by set overlap (JOSIE)."""
+
+    name = "josie"
+    kind = "inverted+sets"
+    items_key = "sets"
+
+    def stats(self) -> dict:
+        return self._search.josie.stats()
+
+    def memory_object(self) -> Any:
+        return self._search.josie
+
+    def query(self, request: QueryRequest):
+        if request.explain:
+            return self._search.exact_topk(
+                request.column,
+                request.k,
+                exclude_table=request.exclude_table,
+                explain=True,
+            )
+        return (
+            self._search.exact_topk(
+                request.column, request.k, exclude_table=request.exclude_table
+            ),
+            None,
+        )

@@ -1,0 +1,58 @@
+"""Keyword (BM25 metadata) search behind the engine protocol (§2.3)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.engine import (
+    Engine,
+    EngineContext,
+    QueryRequest,
+    register_engine,
+)
+from repro.search.keyword import KeywordSearchEngine
+
+
+@register_engine
+class KeywordEngine(Engine):
+    """GOODS-style BM25 ranking over table metadata and headers."""
+
+    name = "keyword"
+    stage = "keyword_index"
+    query_label = "keyword"
+    kind = "bm25"
+    items_key = "documents"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._index: KeywordSearchEngine | None = None
+
+    def build(self, ctx: EngineContext) -> None:
+        self.ctx = ctx
+        self._index = KeywordSearchEngine()
+        self._index.index_lake(ctx.lake)
+
+    def is_built(self) -> bool:
+        return self._index is not None
+
+    @property
+    def raw(self) -> Any:
+        return self._index
+
+    def stats(self) -> dict:
+        return self._index.stats()
+
+    def accepts(self, request: QueryRequest) -> bool:
+        return bool(request.text)
+
+    def query(self, request: QueryRequest):
+        if request.explain:
+            return self._index.search(request.text, request.k, explain=True)
+        return self._index.search(request.text, request.k), None
+
+    def to_payload(self) -> Any:
+        return self._index
+
+    def from_payload(self, payload: Any, ctx: EngineContext) -> None:
+        self.ctx = ctx
+        self._index = payload

@@ -1,0 +1,46 @@
+"""LSH Ensemble containment search behind the engine protocol (§2.4)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.engine import QueryRequest, register_engine
+from repro.engines.join_base import JoinIndexEngine
+from repro.search.explain import summarize_results
+
+
+@register_engine
+class LshEnsembleEngine(JoinIndexEngine):
+    """Approximate containment-threshold join search (LSH Ensemble),
+    verified exactly against the stored sets (filter-verify)."""
+
+    name = "lshensemble"
+    kind = "partitioned-lsh"
+    items_key = "keys"
+
+    def stats(self) -> dict:
+        return self._search.ensemble.stats()
+
+    def memory_object(self) -> Any:
+        return self._search.ensemble
+
+    def query(self, request: QueryRequest):
+        threshold = (
+            request.threshold or self.ctx.config.containment_threshold
+        )
+        if request.explain:
+            hits, report = self._search.containment(
+                request.column,
+                threshold,
+                exclude_table=request.exclude_table,
+                explain=True,
+            )
+            hits = hits[: request.k]
+            report.k = request.k
+            report.stage("returned", len(hits))
+            report.results = summarize_results(hits)
+            return hits, report
+        hits = self._search.containment(
+            request.column, threshold, exclude_table=request.exclude_table
+        )[: request.k]
+        return hits, None

@@ -1,0 +1,72 @@
+"""PEXESO fuzzy-join search behind the engine protocol (§2.4)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.engine import (
+    Engine,
+    EngineContext,
+    QueryRequest,
+    register_engine,
+)
+from repro.search.pexeso import PexesoIndex
+
+
+@register_engine
+class PexesoEngine(Engine):
+    """Embedding-space blocked fuzzy joinable search."""
+
+    name = "pexeso"
+    stage = "union_index"
+    depends_on = ("embeddings",)
+    query_label = "fuzzy_join"
+    kind = "vector-block"
+    items_key = "columns"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._index: PexesoIndex | None = None
+
+    def build(self, ctx: EngineContext) -> None:
+        self.ctx = ctx
+        # Mirrors the legacy union stage: PEXESO is built only when the
+        # contextual encoder (and thus the embedding space) exists.
+        if ctx.encoder is None or ctx.space is None:
+            return
+        self._index = PexesoIndex(ctx.space).build(ctx.lake)
+
+    def is_built(self) -> bool:
+        return self._index is not None
+
+    @property
+    def raw(self) -> Any:
+        return self._index
+
+    def stats(self) -> dict:
+        return self._index.stats()
+
+    def accepts(self, request: QueryRequest) -> bool:
+        return request.column is not None
+
+    def query(self, request: QueryRequest):
+        if request.explain:
+            return self._index.search(
+                request.column,
+                request.k,
+                exclude_table=request.exclude_table,
+                explain=True,
+            )
+        return (
+            self._index.search(
+                request.column, request.k, exclude_table=request.exclude_table
+            ),
+            None,
+        )
+
+    def to_payload(self) -> Any:
+        return self._index
+
+    def from_payload(self, payload: Any, ctx: EngineContext) -> None:
+        self.ctx = ctx
+        self._index = payload

@@ -1,0 +1,78 @@
+"""QCR joinable-and-correlated search behind the engine protocol (§2.4)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.engine import (
+    Engine,
+    EngineContext,
+    QueryRequest,
+    register_engine,
+)
+from repro.search.correlated import CorrelatedSearch
+
+
+@register_engine
+class QcrEngine(Engine):
+    """Correlation-sketch search: joinable tables whose joined column
+    correlates with the query's value column."""
+
+    name = "qcr"
+    stage = "correlation_index"
+    query_label = "correlated"
+    kind = "correlation-sketch"
+    items_key = "sketches"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._search: CorrelatedSearch | None = None
+
+    def build(self, ctx: EngineContext) -> None:
+        self.ctx = ctx
+        self._search = CorrelatedSearch(
+            sketch_size=ctx.config.qcr_sketch_size
+        ).build(ctx.lake)
+
+    def is_built(self) -> bool:
+        return self._search is not None
+
+    @property
+    def raw(self) -> Any:
+        return self._search
+
+    def stats(self) -> dict:
+        return self._search.stats()
+
+    def accepts(self, request: QueryRequest) -> bool:
+        return (
+            request.table is not None
+            and request.key_column is not None
+            and request.value_column is not None
+        )
+
+    def query(self, request: QueryRequest):
+        if request.explain:
+            return self._search.search(
+                request.table,
+                request.key_column,
+                request.value_column,
+                request.k,
+                explain=True,
+            )
+        return (
+            self._search.search(
+                request.table,
+                request.key_column,
+                request.value_column,
+                request.k,
+            ),
+            None,
+        )
+
+    def to_payload(self) -> Any:
+        return self._search
+
+    def from_payload(self, payload: Any, ctx: EngineContext) -> None:
+        self.ctx = ctx
+        self._search = payload

@@ -79,6 +79,28 @@ class JoinableSearch:
         if not self._built:
             raise RuntimeError("call build() before querying")
 
+    # Public views over the three underlying indexes, so introspection and
+    # the engine adapters never reach into private attributes.
+    @property
+    def josie(self) -> JosieIndex:
+        """The JOSIE exact-overlap index."""
+        return self._josie
+
+    @property
+    def ensemble(self) -> LSHEnsemble | None:
+        """The LSH Ensemble containment filter (built)."""
+        return self._ensemble
+
+    @property
+    def jaccard_lsh(self) -> MinHashLSH | None:
+        """The plain Jaccard MinHash-LSH baseline index (built)."""
+        return self._jaccard_lsh
+
+    @property
+    def indexed_columns(self) -> int:
+        """Number of text columns indexed by all three structures."""
+        return len(self._sizes)
+
     def stats(self) -> dict:
         """Introspection over the three join indexes this facade holds."""
         self._require_built()

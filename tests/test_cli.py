@@ -221,6 +221,41 @@ class TestInspectCommand:
         assert "josie" in out
 
 
+class TestEnginesCommand:
+    EXPECTED = {
+        "keyword",
+        "josie",
+        "lshensemble",
+        "jaccard_lsh",
+        "tus",
+        "starmie",
+        "pexeso",
+        "santos",
+        "qcr",
+        "mate",
+        "organization",
+    }
+
+    def test_lists_registry_without_a_lake(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "registered engines" in out
+        for name in self.EXPECTED:
+            assert name in out
+
+    def test_json_with_lake_reports_built_status(self, lake_dir, capsys):
+        directory, _ = lake_dir
+        assert main(["engines", str(directory), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {r["name"]: r for r in rows}
+        assert set(by_name) == self.EXPECTED
+        # No ontology in a CSV-only lake: SANTOS stays down, rest come up.
+        assert not by_name["santos"]["built"]
+        for name in self.EXPECTED - {"santos"}:
+            assert by_name[name]["built"], name
+            assert by_name[name]["items"] >= 0
+
+
 class TestSaveRoundTrip:
     def test_save_and_reload(self, tmp_path):
         lake = DataLake([Table.from_dict("t1", {"a": ["x", "y"]})])
